@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests the paper's closing prediction: "while for current
+ * technological parameters our simulations indicate that the optimal
+ * subpage size is about 2K, we might expect that size to decrease in
+ * the future ... as the ratio of network speed to memory speed
+ * increases."
+ *
+ * We sweep the subpage size under the calibrated AN2 (155 Mb/s), a
+ * 4x network (OC-12-class) and a 16x network (~2.5 Gb/s), with fixed
+ * costs improving more slowly (2x / 4x), and report the best subpage
+ * size for each.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace sgms;
+
+int
+main()
+{
+    double scale = scale_from_env(1.0);
+    bench::banner("Ablation",
+                  "optimal subpage size vs network speed "
+                  "(modula3, 1/2-mem)",
+                  scale);
+
+    struct Net
+    {
+        const char *name;
+        NetParams params;
+    };
+    const Net nets[] = {
+        {"AN2 155Mb/s (paper)", NetParams::an2()},
+        {"4x bandwidth, 2x fixed", NetParams::future(4, 2)},
+        {"16x bandwidth, 4x fixed", NetParams::future(16, 4)},
+    };
+
+    for (const auto &net : nets) {
+        bench::section(net.name);
+        Experiment ex;
+        ex.app = "modula3";
+        ex.scale = scale;
+        ex.mem = MemConfig::Half;
+        ex.base.net = net.params;
+        ex.policy = "fullpage";
+        SimResult base = bench::run_labeled(ex);
+
+        Table t({"config", "runtime (ms)", "vs p_8192"});
+        t.add_row({ex.label(), format_ms(base.runtime), "0%"});
+        uint32_t best_size = 8192;
+        Tick best_runtime = base.runtime;
+        ex.policy = "eager";
+        for (uint32_t sp : {4096u, 2048u, 1024u, 512u, 256u}) {
+            ex.subpage_size = sp;
+            SimResult r = bench::run_labeled(ex);
+            t.add_row({ex.label(), format_ms(r.runtime),
+                       Table::fmt_pct(r.reduction_vs(base))});
+            if (r.runtime < best_runtime) {
+                best_runtime = r.runtime;
+                best_size = sp;
+            }
+        }
+        t.print(std::cout);
+        std::printf("best subpage size: %s\n",
+                    format_bytes(best_size).c_str());
+    }
+    std::printf(
+        "\nreading the result: the pure-latency analysis agrees with "
+        "the paper's\nprediction (the 8K/256B fetch-latency ratio "
+        "grows with bandwidth, making\nsmall subpages relatively "
+        "cheaper — see FutureNetwork tests), but on\nthese traces "
+        "the optimum stays pinned near 2K by spatial locality\n"
+        "(record accesses crossing subpage boundaries), while the "
+        "overall\nsubpage benefit compresses as every fetch becomes "
+        "fixed-cost-bound.\nThe paper offered its 'size will "
+        "decrease' expectation without data;\nthis is what our "
+        "model says actually happens.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: replacement-policy sensitivity. The paper's simulator
+ * defaults to LRU but is "determined by a configurable memory
+ * management module"; this bench shows how the fault counts and the
+ * subpage win change under FIFO and Clock.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace sgms;
+
+int
+main()
+{
+    double scale = scale_from_env(1.0);
+    bench::banner("Ablation", "replacement policy sensitivity", scale);
+
+    Table t({"policy", "config", "faults", "runtime (ms)",
+             "eager 1K vs p_8192"});
+    for (const char *repl : {"lru", "fifo", "clock"}) {
+        for (MemConfig mem : {MemConfig::Half, MemConfig::Quarter}) {
+            Experiment ex;
+            ex.app = "modula3";
+            ex.scale = scale;
+            ex.mem = mem;
+            ex.base.replacement = repl;
+            ex.policy = "fullpage";
+            SimResult base = bench::run_labeled(ex);
+            ex.policy = "eager";
+            ex.subpage_size = 1024;
+            SimResult eager = bench::run_labeled(ex);
+            t.add_row({repl, mem_config_name(mem),
+                       Table::fmt_int(base.page_faults),
+                       format_ms(base.runtime),
+                       Table::fmt_pct(eager.reduction_vs(base))});
+        }
+    }
+    t.print(std::cout);
+    std::printf("\nexpected: the subpage win is robust across "
+                "replacement policies;\nfault counts shift (FIFO/"
+                "Clock approximate LRU) but the eager-vs-\nfullpage "
+                "comparison keeps its shape.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for the table/figure benches.
+ *
+ * Every bench regenerates one table or figure from the paper. Output
+ * convention: a header naming the experiment, the paper's reference
+ * values where applicable, an ASCII rendering of the figure, and the
+ * raw data as CSV so it can be re-plotted.
+ *
+ * SGMS_SCALE scales the synthetic traces (1.0 = the paper's trace
+ * sizes; smaller values run proportionally faster with the same
+ * qualitative shapes).
+ */
+
+#ifndef SGMS_BENCH_BENCH_COMMON_H
+#define SGMS_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/chart.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/experiment.h"
+
+namespace sgms::bench
+{
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &id, const std::string &title, double scale)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", id.c_str(), title.c_str());
+    std::printf("trace scale: %g (SGMS_SCALE to change; 1.0 = paper)\n",
+                scale);
+    std::printf("==============================================================\n");
+}
+
+/** Section separator inside a bench. */
+inline void
+section(const std::string &name)
+{
+    std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/** Run one experiment and echo a progress line. */
+inline SimResult
+run_labeled(const Experiment &ex)
+{
+    SimResult r = ex.run();
+    std::fflush(stdout);
+    return r;
+}
+
+/** The subpage sizes the paper sweeps. */
+inline const std::vector<uint32_t> &
+paper_subpage_sizes()
+{
+    static const std::vector<uint32_t> sizes = {4096, 2048, 1024, 512,
+                                                256};
+    return sizes;
+}
+
+} // namespace sgms::bench
+
+#endif // SGMS_BENCH_BENCH_COMMON_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Regenerates Figure 1: transfer latency vs page size for a disk
+ * subsystem, a heavily-loaded Ethernet, a lightly-loaded Ethernet,
+ * and an ATM network.
+ *
+ * The figure's four observations to check in the output:
+ *  1. disk has high latency even for zero-length transfers;
+ *  2. networks have much lower initial overhead, so the per-byte
+ *     term dominates their curves;
+ *  3. even on ATM, smaller transfers cut latency substantially;
+ *  4. lightly-loaded Ethernet beats disk for very small transfers
+ *     while loaded Ethernet is worse than disk for full pages.
+ */
+
+#include "bench/bench_common.h"
+
+#include "net/params.h"
+
+using namespace sgms;
+
+int
+main()
+{
+    bench::banner("Figure 1", "latency vs page size by medium", 1.0);
+
+    struct Medium
+    {
+        const char *name;
+        NetParams net;
+        bool is_disk;
+        DiskParams disk;
+    };
+    const Medium media[] = {
+        {"disk", {}, true, DiskParams::random_access()},
+        {"loaded-ethernet", NetParams::loaded_ethernet(), false, {}},
+        {"ethernet", NetParams::ethernet(), false, {}},
+        {"atm-an2", NetParams::an2(), false, {}},
+    };
+
+    LinePlot plot("Figure 1: latency vs transfer size", "bytes", "ms");
+    Table t({"bytes", "disk (ms)", "loaded-eth (ms)", "eth (ms)",
+             "atm (ms)"});
+    std::vector<Series> series(4);
+    for (int i = 0; i < 4; ++i)
+        series[i].name = media[i].name;
+
+    for (uint32_t bytes = 0; bytes <= 8192; bytes += 512) {
+        std::vector<std::string> row = {Table::fmt_int(bytes)};
+        for (int i = 0; i < 4; ++i) {
+            Tick lat = media[i].is_disk
+                           ? media[i].disk.access_latency(bytes)
+                           : media[i].net.demand_fetch_latency(
+                                 std::max<uint32_t>(bytes, 1));
+            series[i].add(bytes, ticks::to_ms(lat));
+            row.push_back(Table::fmt(ticks::to_ms(lat), 2));
+        }
+        t.add_row(row);
+    }
+    for (auto &s : series)
+        plot.add(std::move(s));
+
+    t.print(std::cout);
+    plot.print(std::cout, 72, 18);
+
+    bench::section("figure-1 observations");
+    auto disk0 = DiskParams::random_access().access_latency(0);
+    auto atm0 = NetParams::an2().demand_fetch_latency(1);
+    std::printf("disk zero-length latency : %s (high)\n",
+                format_ms(disk0).c_str());
+    std::printf("atm  zero-length latency : %s (low)\n",
+                format_ms(atm0).c_str());
+    std::printf("eth beats disk at 256B   : %s\n",
+                NetParams::ethernet().demand_fetch_latency(256) <
+                        DiskParams::default_local().access_latency(256)
+                    ? "yes (paper: yes)"
+                    : "NO (paper: yes)");
+    std::printf("loaded eth worse than disk at 8K: %s\n",
+                NetParams::loaded_ethernet().demand_fetch_latency(
+                    8192) >
+                        DiskParams::default_local().access_latency(
+                            8192)
+                    ? "yes (paper: yes)"
+                    : "NO (paper: yes)");
+
+    bench::section("csv");
+    plot.print_csv(std::cout);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Figure 3: Modula-3 runtime for disk_8192, p_8192 and
+ * eager-fullpage subpage sizes 4096..256, at full, 1/2 and 1/4
+ * memory (warm global cache).
+ *
+ * Paper shape checks:
+ *  - GMS fullpage beats disk by 1.7-2.2x;
+ *  - every subpage size beats fullpage;
+ *  - subpage benefit grows as memory shrinks (1K: 16% -> 25% -> 38%);
+ *  - 1K-2K subpages are the sweet spot.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace sgms;
+
+int
+main()
+{
+    double scale = scale_from_env(1.0);
+    bench::banner("Figure 3",
+                  "Modula-3 subpage performance at 3 memory sizes",
+                  scale);
+
+    for (MemConfig mem :
+         {MemConfig::Full, MemConfig::Half, MemConfig::Quarter}) {
+        bench::section(mem_config_name(mem));
+
+        Experiment ex;
+        ex.app = "modula3";
+        ex.scale = scale;
+        ex.mem = mem;
+
+        std::vector<std::pair<std::string, SimResult>> results;
+        ex.policy = "disk";
+        results.emplace_back(ex.label(), bench::run_labeled(ex));
+        ex.policy = "fullpage";
+        results.emplace_back(ex.label(), bench::run_labeled(ex));
+        ex.policy = "eager";
+        for (uint32_t sp : bench::paper_subpage_sizes()) {
+            ex.subpage_size = sp;
+            results.emplace_back(ex.label(), bench::run_labeled(ex));
+        }
+
+        const SimResult &fullpage = results[1].second;
+        const SimResult &disk = results[0].second;
+
+        BarChart chart(std::string("normalized runtime (") +
+                           mem_config_name(mem) + ")",
+                       "x p_8192");
+        Table t({"config", "runtime (ms)", "faults",
+                 "vs p_8192", "improvement"});
+        for (const auto &[label, r] : results) {
+            double norm = static_cast<double>(r.runtime) /
+                          fullpage.runtime;
+            chart.add(label, norm);
+            t.add_row({label, format_ms(r.runtime),
+                       Table::fmt_int(r.page_faults),
+                       Table::fmt(norm, 3),
+                       Table::fmt_pct(r.reduction_vs(fullpage))});
+        }
+        t.print(std::cout);
+        chart.print(std::cout, 50);
+        std::printf("GMS fullpage speedup over disk: %.2fx "
+                    "(paper: 1.7-2.2x)\n",
+                    fullpage.speedup_vs(disk));
+        double best_speedup = 0;
+        for (size_t i = 2; i < results.size(); ++i) {
+            best_speedup = std::max(
+                best_speedup, results[i].second.speedup_vs(disk));
+        }
+        std::printf("best subpage speedup over disk: %.2fx "
+                    "(paper: up to 4x at 1/4-mem)\n",
+                    best_speedup);
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates Figure 4: Modula-3 at 1/2 memory, with runtime broken
+ * into exec / sp_latency / page_wait per subpage size.
+ *
+ * Paper shape checks:
+ *  - sp_latency falls steadily as subpages shrink (55% of runtime at
+ *    4K down to 25% at 256B);
+ *  - page_wait rises in exchange (2% at 4K to 35% at 256B);
+ *  - both spatial and temporal effects drive the page_wait increase.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace sgms;
+
+int
+main()
+{
+    double scale = scale_from_env(1.0);
+    bench::banner("Figure 4",
+                  "Modula-3 1/2-mem runtime components by subpage size",
+                  scale);
+
+    Experiment ex;
+    ex.app = "modula3";
+    ex.scale = scale;
+    ex.mem = MemConfig::Half;
+    ex.policy = "fullpage";
+    SimResult base = bench::run_labeled(ex);
+
+    BarChart chart("runtime components (normalized to p_8192)", "");
+    Table t({"config", "exec", "sp_latency", "page_wait", "other",
+             "total vs p_8192"});
+
+    auto add = [&](const std::string &label, const SimResult &r) {
+        double denom = static_cast<double>(base.runtime);
+        double exec = r.exec_time / denom;
+        double sp = r.sp_latency / denom;
+        double pw = r.page_wait / denom;
+        double other = (r.recv_overhead + r.emulation_overhead +
+                        r.tlb_overhead) /
+                       denom;
+        chart.add(Bar{label,
+                      {{"exec", exec},
+                       {"sp_latency", sp},
+                       {"page_wait", pw}}});
+        t.add_row({label, Table::fmt_pct(exec), Table::fmt_pct(sp),
+                   Table::fmt_pct(pw), Table::fmt_pct(other),
+                   Table::fmt_pct(exec + sp + pw + other)});
+    };
+
+    add(ex.label(), base);
+    ex.policy = "eager";
+    for (uint32_t sp : bench::paper_subpage_sizes()) {
+        ex.subpage_size = sp;
+        add(ex.label(), bench::run_labeled(ex));
+    }
+
+    t.print(std::cout);
+    chart.print(std::cout, 50);
+    std::printf("paper: sp_latency falls 55%%->25%% and page_wait "
+                "rises 2%%->35%% from sp_4096 to sp_256\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates Figure 7: distribution of the distance (in subpages)
+ * from the faulted subpage to the next *different* subpage accessed
+ * on the same page, for 2K (a) and 1K (b) subpages.
+ *
+ * Paper shape check: strong spatial locality — the +1 neighbour
+ * dominates, which is what motivates the pipelining order (+1, -1,
+ * then the rest).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace sgms;
+
+namespace
+{
+
+void
+show(uint32_t subpage, double scale)
+{
+    Experiment ex;
+    ex.app = "modula3";
+    ex.scale = scale;
+    ex.mem = MemConfig::Half;
+    ex.policy = "eager";
+    ex.subpage_size = subpage;
+    SimResult r = bench::run_labeled(ex);
+
+    char title[64];
+    std::snprintf(title, sizeof(title),
+                  "next-subpage distance, %s subpages",
+                  format_bytes(subpage).c_str());
+    bench::section(title);
+
+    const Histogram &h = r.next_subpage_distance;
+    Table t({"distance", "count", "fraction"});
+    BarChart chart("fraction of next accesses by distance", "");
+    for (const auto &[d, c] : h.bins()) {
+        double f = h.fraction(d);
+        if (f < 0.005)
+            continue;
+        char label[16];
+        std::snprintf(label, sizeof(label), "%+lld",
+                      static_cast<long long>(d));
+        t.add_row({label, Table::fmt_int(c), Table::fmt_pct(f, 1)});
+        chart.add(label, f * 100);
+    }
+    t.print(std::cout);
+    chart.print(std::cout, 50);
+    std::printf("+1 share: %.0f%% (paper: dominant)\n",
+                h.fraction(1) * 100);
+}
+
+} // namespace
+
+int
+main()
+{
+    double scale = scale_from_env(1.0);
+    bench::banner(
+        "Figure 7",
+        "distance to next accessed subpage on the same page", scale);
+    show(2048, scale); // Figure 7a
+    show(1024, scale); // Figure 7b
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates Figure 9: reduction in execution time for eager
+ * fullpage fetch and subpage pipelining across all five
+ * applications (1/2 memory, 1K subpages), plus section 4.4's
+ * I/O-overlap share measurements.
+ *
+ * Paper bands: eager 20-44%, pipelining 30-54%; the I/O-overlap
+ * share of the speedup ranges from 53% (Atom) to 83% (gdb); the
+ * relative gain of pipelining is larger for the applications that
+ * benefit least from eager fetch.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace sgms;
+
+int
+main()
+{
+    double scale = scale_from_env(1.0);
+    bench::banner("Figure 9",
+                  "runtime reduction, all applications "
+                  "(1/2-mem, 1K subpages)",
+                  scale);
+
+    Table t({"app", "p_8192 (ms)", "eager", "pipelining",
+             "io-overlap share", "faults"});
+    BarChart chart("% reduction vs p_8192", "%");
+
+    double min_eff = 1, max_eff = 0, min_pipe = 1, max_pipe = 0;
+    for (const auto &app : app_names()) {
+        Experiment ex;
+        ex.app = app;
+        ex.scale = scale;
+        ex.mem = MemConfig::Half;
+        ex.subpage_size = 1024;
+
+        ex.policy = "fullpage";
+        SimResult base = bench::run_labeled(ex);
+        ex.policy = "eager";
+        SimResult eager = bench::run_labeled(ex);
+        ex.policy = "pipelining";
+        SimResult pipe = bench::run_labeled(ex);
+
+        double eff = eager.reduction_vs(base);
+        double pr = pipe.reduction_vs(base);
+        min_eff = std::min(min_eff, eff);
+        max_eff = std::max(max_eff, eff);
+        min_pipe = std::min(min_pipe, pr);
+        max_pipe = std::max(max_pipe, pr);
+
+        t.add_row({app, format_ms(base.runtime),
+                   Table::fmt_pct(eff), Table::fmt_pct(pr),
+                   Table::fmt_pct(eager.io_overlap_share()),
+                   Table::fmt_int(base.page_faults)});
+        chart.add(app + " eager", eff * 100);
+        chart.add(app + " pipe ", pr * 100);
+    }
+
+    t.print(std::cout);
+    chart.print(std::cout, 50);
+    std::printf("eager range      : %.0f%%..%.0f%%  (paper: 20%%..44%%)\n",
+                min_eff * 100, max_eff * 100);
+    std::printf("pipelining range : %.0f%%..%.0f%%  (paper: 30%%..54%%)\n",
+                min_pipe * 100, max_pipe * 100);
+    std::printf("io-overlap share : paper 53%% (atom) .. 83%% (gdb)\n");
+    return 0;
+}

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Regenerates Table 2: page-fault latencies for eager-fullpage fetch
+ * from remote memory, per subpage size — the calibration anchor of
+ * the whole reproduction.
+ *
+ * Columns:
+ *  - Subpage latency: fault until the program resumes (demand
+ *    subpage arrival).
+ *  - Rest of page: fault until the entire page has arrived.
+ *  - Overlapped execution potential: the window between the two
+ *    arrivals minus the receive-CPU cost of the rest-of-page
+ *    message, as a percentage of the fullpage latency.
+ *  - Sender pipelining: how much sooner the whole page completes
+ *    than a single fullpage transfer, thanks to cross-message stage
+ *    overlap.
+ */
+
+#include "bench/bench_common.h"
+
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+using namespace sgms;
+
+namespace
+{
+
+struct FetchTimes
+{
+    Tick subpage;
+    Tick rest;
+    Tick rest_recv_cpu;
+};
+
+FetchTimes
+measure(uint32_t demand_bytes, uint32_t rest_bytes)
+{
+    EventQueue eq;
+    NetParams params = NetParams::an2();
+    Network net(eq, params, 0);
+    FetchTimes ft{TICK_NONE, TICK_NONE, 0};
+    Tick t0 = params.fault_handle;
+    net.send(t0, {0, 1, params.request_bytes, MsgKind::Request, false,
+                  [&](Tick when, Tick) {
+                      net.send(when, {1, 0, demand_bytes,
+                                      MsgKind::DemandData, false,
+                                      [&](Tick d, Tick) {
+                                          ft.subpage = d;
+                                      }});
+                      if (rest_bytes) {
+                          net.send(when,
+                                   {1, 0, rest_bytes,
+                                    MsgKind::BackgroundData, false,
+                                    [&](Tick d, Tick rc) {
+                                        ft.rest = d;
+                                        ft.rest_recv_cpu = rc;
+                                    }});
+                      }
+                  }});
+    eq.run_all();
+    return ft;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 2",
+                  "page-fault latencies for eager fullpage fetch",
+                  1.0);
+
+    // Paper's measured values for side-by-side comparison.
+    struct PaperRow
+    {
+        uint32_t size;
+        double sp, rest;
+        int overlap_pct, pipeline_pct;
+    };
+    const PaperRow paper[] = {
+        {256, 0.45, 1.49, 50, 0},  {512, 0.47, 1.46, 47, 1},
+        {1024, 0.52, 1.38, 40, 7}, {2048, 0.66, 1.25, 23, 16},
+        {4096, 0.94, 1.23, 1, 17},
+    };
+
+    FetchTimes full = measure(8192, 0);
+    double full_ms = ticks::to_ms(full.subpage);
+
+    Table t({"Subpage", "Subpage (ms)", "Rest of Page (ms)",
+             "Overlapped Exec", "Sender Pipelining", "paper sp/rest",
+             "paper ovl/pipe"});
+    for (const auto &row : paper) {
+        FetchTimes ft = measure(row.size, 8192 - row.size);
+        double sp_ms = ticks::to_ms(ft.subpage);
+        double rest_ms = ticks::to_ms(ft.rest);
+        double overlap =
+            (ticks::to_ms(ft.rest - ft.subpage - ft.rest_recv_cpu)) /
+            full_ms;
+        double pipelining = (full_ms - rest_ms) / full_ms;
+        char paper_lat[48], paper_pot[48];
+        std::snprintf(paper_lat, sizeof(paper_lat), "%.2f / %.2f",
+                      row.sp, row.rest);
+        std::snprintf(paper_pot, sizeof(paper_pot), "%d%% / %d%%",
+                      row.overlap_pct, row.pipeline_pct);
+        t.add_row({format_bytes(row.size), Table::fmt(sp_ms, 2),
+                   Table::fmt(rest_ms, 2),
+                   Table::fmt_pct(std::max(0.0, overlap)),
+                   Table::fmt_pct(std::max(0.0, pipelining)),
+                   paper_lat, paper_pot});
+    }
+    t.add_row({"fullpage", "-", Table::fmt(full_ms, 2), "-", "-",
+               "- / 1.48", "-"});
+    t.print(std::cout);
+
+    bench::section("csv");
+    t.print_csv(std::cout);
+    return 0;
+}

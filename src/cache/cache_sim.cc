@@ -1,0 +1,103 @@
+#include "cache/cache_sim.h"
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+Tick
+CacheStats::average_access_time(const PalCosts &costs) const
+{
+    uint64_t n = accesses();
+    if (n == 0)
+        return 0;
+    double total =
+        static_cast<double>(l1_hits) * costs.l1_hit +
+        static_cast<double>(l2_hits) * costs.l2_hit +
+        static_cast<double>(misses) * costs.l2_miss;
+    return static_cast<Tick>(total / n);
+}
+
+CacheArray::CacheArray(CacheLevelConfig cfg) : cfg_(cfg)
+{
+    if (!is_pow2(cfg.size_bytes) || !is_pow2(cfg.line_bytes) ||
+        !is_pow2(cfg.associativity)) {
+        fatal("cache: geometry must be powers of two");
+    }
+    uint32_t lines = cfg.size_bytes / cfg.line_bytes;
+    if (cfg.associativity > lines)
+        fatal("cache: associativity exceeds line count");
+    sets_ = lines / cfg.associativity;
+    line_shift_ = log2_exact(cfg.line_bytes);
+    ways_.resize(static_cast<size_t>(sets_) * cfg.associativity);
+}
+
+bool
+CacheArray::access(Addr addr)
+{
+    uint64_t line = addr >> line_shift_;
+    uint32_t set = sets_ > 1 ? line & (sets_ - 1) : 0;
+    uint64_t tag = line / sets_;
+    Way *base = &ways_[static_cast<size_t>(set) * cfg_.associativity];
+    ++tick_;
+
+    for (uint32_t w = 0; w < cfg_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = tick_;
+            return true;
+        }
+    }
+    Way *victim = nullptr;
+    for (uint32_t w = 0; w < cfg_.associativity; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (!victim || base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+    return false;
+}
+
+CacheSim::CacheSim(CacheLevelConfig l1, CacheLevelConfig l2)
+    : l1_(l1), l2_(l2)
+{}
+
+CacheSim
+CacheSim::alpha250()
+{
+    // Alpha 21064A: 16K direct-mapped on-chip D-cache with 32-byte
+    // lines; 2M direct-mapped board cache with 64-byte lines.
+    return CacheSim({16 * 1024, 32, 1}, {2 * 1024 * 1024, 64, 1});
+}
+
+CacheLevel
+CacheSim::access(Addr addr)
+{
+    if (l1_.access(addr)) {
+        ++stats_.l1_hits;
+        return CacheLevel::L1;
+    }
+    if (l2_.access(addr)) {
+        ++stats_.l2_hits;
+        return CacheLevel::L2;
+    }
+    ++stats_.misses;
+    return CacheLevel::Memory;
+}
+
+Tick
+CacheSim::calibrate(TraceSource &trace, const PalCosts &costs)
+{
+    TraceEvent ev;
+    trace.reset();
+    while (trace.next(ev))
+        access(ev.addr);
+    trace.reset();
+    return stats_.average_access_time(costs);
+}
+
+} // namespace sgms

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Two-level cache simulator used to calibrate the simulation clock.
+ *
+ * Section 3.2 of the paper: "we traced those applications and ran the
+ * traces through a cache simulator to model memory accesses. Using
+ * the results of the cache simulator, we then calculated the average
+ * time per trace event ... about 12 nanoseconds". This module is that
+ * cache simulator: the default geometry matches the DEC Alpha 250
+ * (16K direct-mapped L1, 2M direct-mapped board cache) and latencies
+ * come from Table 1.
+ */
+
+#ifndef SGMS_CACHE_CACHE_SIM_H
+#define SGMS_CACHE_CACHE_SIM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "proto/palcode.h"
+#include "trace/trace.h"
+
+namespace sgms
+{
+
+/** Geometry of one cache level. */
+struct CacheLevelConfig
+{
+    uint32_t size_bytes;
+    uint32_t line_bytes;
+    uint32_t associativity;
+};
+
+/** Where an access was satisfied. */
+enum class CacheLevel : uint8_t
+{
+    L1,
+    L2,
+    Memory,
+};
+
+/** Per-level hit counters. */
+struct CacheStats
+{
+    uint64_t l1_hits = 0;
+    uint64_t l2_hits = 0;
+    uint64_t misses = 0;
+
+    uint64_t accesses() const { return l1_hits + l2_hits + misses; }
+
+    /**
+     * Average memory-access time in ticks using Table 1 latencies:
+     * this is the paper's "time per trace event" calibration.
+     */
+    Tick average_access_time(const PalCosts &costs =
+                                 PalCosts::alpha250()) const;
+};
+
+/** One set-associative (LRU) cache level. */
+class CacheArray
+{
+  public:
+    explicit CacheArray(CacheLevelConfig cfg);
+
+    /** Access @p addr; fills on miss. True on hit. */
+    bool access(Addr addr);
+
+    const CacheLevelConfig &config() const { return cfg_; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    CacheLevelConfig cfg_;
+    uint32_t sets_;
+    uint32_t line_shift_;
+    uint64_t tick_ = 0;
+    std::vector<Way> ways_;
+};
+
+/** Two-level cache hierarchy. */
+class CacheSim
+{
+  public:
+    CacheSim(CacheLevelConfig l1, CacheLevelConfig l2);
+
+    /** DEC Alpha 250 configuration. */
+    static CacheSim alpha250();
+
+    /** Access @p addr; returns the level that satisfied it. */
+    CacheLevel access(Addr addr);
+
+    const CacheStats &stats() const { return stats_; }
+
+    /**
+     * Run a whole trace and return the average access time — the
+     * "ns per simulation event" the main simulator uses as its clock.
+     */
+    Tick calibrate(TraceSource &trace,
+                   const PalCosts &costs = PalCosts::alpha250());
+
+  private:
+    CacheArray l1_;
+    CacheArray l2_;
+    CacheStats stats_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_CACHE_CACHE_SIM_H

@@ -1,0 +1,202 @@
+#include "common/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+double
+Bar::total() const
+{
+    double t = 0.0;
+    for (const auto &[name, v] : segments)
+        t += v;
+    return t;
+}
+
+void
+BarChart::add(const std::string &label, double value)
+{
+    bars_.push_back(Bar{label, {{"", value}}});
+}
+
+void
+BarChart::add(Bar bar)
+{
+    bars_.push_back(std::move(bar));
+}
+
+void
+BarChart::print(std::ostream &os, int width) const
+{
+    os << title_ << "\n";
+    double max_total = 0.0;
+    size_t label_w = 0;
+    for (const auto &bar : bars_) {
+        max_total = std::max(max_total, bar.total());
+        label_w = std::max(label_w, bar.label.size());
+    }
+    if (max_total <= 0.0)
+        max_total = 1.0;
+
+    // Legend: one glyph per distinct segment name, in first-seen order.
+    static const char glyphs[] = "#=+*o.%@";
+    std::vector<std::string> seg_names;
+    for (const auto &bar : bars_) {
+        for (const auto &[name, v] : bar.segments) {
+            if (!name.empty() &&
+                std::find(seg_names.begin(), seg_names.end(), name) ==
+                    seg_names.end()) {
+                seg_names.push_back(name);
+            }
+        }
+    }
+    if (seg_names.size() > 1) {
+        os << "  legend:";
+        for (size_t i = 0; i < seg_names.size(); ++i)
+            os << "  " << glyphs[i % (sizeof(glyphs) - 1)] << "="
+               << seg_names[i];
+        os << "\n";
+    }
+
+    for (const auto &bar : bars_) {
+        os << "  " << bar.label
+           << std::string(label_w - bar.label.size(), ' ') << " |";
+        int drawn = 0;
+        for (const auto &[name, v] : bar.segments) {
+            auto it = std::find(seg_names.begin(), seg_names.end(), name);
+            char g = name.empty()
+                         ? '#'
+                         : glyphs[(it - seg_names.begin()) %
+                                  (sizeof(glyphs) - 1)];
+            int cells = static_cast<int>(
+                std::lround(v / max_total * width));
+            for (int i = 0; i < cells; ++i)
+                os << g;
+            drawn += cells;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %.3f %s", bar.total(),
+                      unit_.c_str());
+        os << std::string(std::max(0, width + 2 - drawn), ' ') << buf
+           << "\n";
+    }
+}
+
+void
+LinePlot::print(std::ostream &os, int width, int height) const
+{
+    os << title_ << "\n";
+    double xmin = 0, xmax = 0, ymin = 0, ymax = 0;
+    bool first = true;
+    for (const auto &s : series_) {
+        for (const auto &[x, y] : s.points) {
+            if (first) {
+                xmin = xmax = x;
+                ymin = ymax = y;
+                first = false;
+            } else {
+                xmin = std::min(xmin, x);
+                xmax = std::max(xmax, x);
+                ymin = std::min(ymin, y);
+                ymax = std::max(ymax, y);
+            }
+        }
+    }
+    if (first) {
+        os << "  (no data)\n";
+        return;
+    }
+    if (xmax == xmin)
+        xmax = xmin + 1;
+    if (ymax == ymin)
+        ymax = ymin + 1;
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    static const char glyphs[] = "*o+x#@%&";
+    for (size_t si = 0; si < series_.size(); ++si) {
+        char g = glyphs[si % (sizeof(glyphs) - 1)];
+        for (const auto &[x, y] : series_[si].points) {
+            int cx = static_cast<int>((x - xmin) / (xmax - xmin) *
+                                      (width - 1));
+            int cy = static_cast<int>((y - ymin) / (ymax - ymin) *
+                                      (height - 1));
+            cx = std::clamp(cx, 0, width - 1);
+            cy = std::clamp(cy, 0, height - 1);
+            grid[height - 1 - cy][cx] = g;
+        }
+    }
+
+    os << "  legend:";
+    for (size_t si = 0; si < series_.size(); ++si)
+        os << "  " << glyphs[si % (sizeof(glyphs) - 1)] << "="
+           << series_[si].name;
+    os << "\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  y: %s  [%.4g .. %.4g]\n",
+                  y_label_.c_str(), ymin, ymax);
+    os << buf;
+    for (const auto &row : grid)
+        os << "  |" << row << "\n";
+    os << "  +" << std::string(width, '-') << "\n";
+    std::snprintf(buf, sizeof(buf), "  x: %s  [%.4g .. %.4g]\n",
+                  x_label_.c_str(), xmin, xmax);
+    os << buf;
+}
+
+void
+LinePlot::print_csv(std::ostream &os) const
+{
+    os << "series,x,y\n";
+    for (const auto &s : series_)
+        for (const auto &[x, y] : s.points) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "%s,%.6g,%.6g\n",
+                          s.name.c_str(), x, y);
+            os << buf;
+        }
+}
+
+void
+GanttChart::add_row(const std::string &label, std::vector<GanttSpan> spans)
+{
+    rows_.emplace_back(label, std::move(spans));
+}
+
+void
+GanttChart::print(std::ostream &os, int width) const
+{
+    os << title_ << "\n";
+    Tick tmax = 0;
+    size_t label_w = 0;
+    for (const auto &[label, spans] : rows_) {
+        label_w = std::max(label_w, label.size());
+        for (const auto &s : spans)
+            tmax = std::max(tmax, s.end);
+    }
+    if (tmax == 0)
+        tmax = 1;
+
+    for (const auto &[label, spans] : rows_) {
+        std::string line(width, '.');
+        for (const auto &s : spans) {
+            int a = static_cast<int>(s.start * (width - 1) / tmax);
+            int b = static_cast<int>(s.end * (width - 1) / tmax);
+            b = std::max(b, a); // zero-length spans still get one cell
+            for (int i = a; i <= b && i < width; ++i)
+                line[i] = s.glyph;
+        }
+        os << "  " << label << std::string(label_w - label.size(), ' ')
+           << " [" << line << "]\n";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  time axis: 0 .. %.3f ms\n",
+                  ticks::to_ms(tmax));
+    os << buf;
+}
+
+} // namespace sgms

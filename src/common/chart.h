@@ -1,0 +1,107 @@
+/**
+ * @file
+ * ASCII chart rendering for figure benches.
+ *
+ * The paper's figures are bar charts (Figs 3, 4, 8, 9), line plots
+ * (Figs 1, 5, 6, 10), histograms (Fig 7), and a Gantt timeline
+ * (Fig 2). These renderers draw terminal-friendly equivalents so the
+ * bench output can be compared to the paper at a glance; the same
+ * data is also printed as CSV for plotting.
+ */
+
+#ifndef SGMS_COMMON_CHART_H
+#define SGMS_COMMON_CHART_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace sgms
+{
+
+/** One bar, possibly stacked from several labelled segments. */
+struct Bar
+{
+    std::string label;
+    /** (segment name, value) pairs, drawn bottom-up / left-to-right. */
+    std::vector<std::pair<std::string, double>> segments;
+
+    double total() const;
+};
+
+/** Horizontal bar chart with optional stacked segments. */
+class BarChart
+{
+  public:
+    BarChart(std::string title, std::string value_unit)
+        : title_(std::move(title)), unit_(std::move(value_unit))
+    {}
+
+    /** Add a single-valued bar. */
+    void add(const std::string &label, double value);
+
+    /** Add a stacked bar. */
+    void add(Bar bar);
+
+    /** Render; bars are scaled to @p width characters at the maximum. */
+    void print(std::ostream &os, int width = 60) const;
+
+  private:
+    std::string title_;
+    std::string unit_;
+    std::vector<Bar> bars_;
+};
+
+/** Multi-series (x, y) line plot on a character grid. */
+class LinePlot
+{
+  public:
+    LinePlot(std::string title, std::string x_label, std::string y_label)
+        : title_(std::move(title)), x_label_(std::move(x_label)),
+          y_label_(std::move(y_label))
+    {}
+
+    void add(Series series) { series_.push_back(std::move(series)); }
+
+    void print(std::ostream &os, int width = 72, int height = 20) const;
+
+    /** Emit all series as long-form CSV: series,x,y. */
+    void print_csv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::string x_label_;
+    std::string y_label_;
+    std::vector<Series> series_;
+};
+
+/** One busy interval on a Gantt row. */
+struct GanttSpan
+{
+    Tick start;
+    Tick end;
+    char glyph;
+};
+
+/** Gantt / timeline chart (Figure 2 style). */
+class GanttChart
+{
+  public:
+    explicit GanttChart(std::string title) : title_(std::move(title)) {}
+
+    /** Add a row (component) with its busy spans. */
+    void add_row(const std::string &label, std::vector<GanttSpan> spans);
+
+    void print(std::ostream &os, int width = 90) const;
+
+  private:
+    std::string title_;
+    std::vector<std::pair<std::string, std::vector<GanttSpan>>> rows_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_COMMON_CHART_H

@@ -1,0 +1,74 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgms
+{
+
+namespace
+{
+bool quiet_mode = false;
+
+void
+vreport(const char *level, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", level);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+set_quiet(bool quiet)
+{
+    quiet_mode = quiet;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quiet_mode)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+assert_fail(const char *expr, const char *file, int line)
+{
+    panic("assertion '%s' failed at %s:%d", expr, file, line);
+}
+
+} // namespace sgms

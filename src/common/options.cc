@@ -1,0 +1,116 @@
+#include "common/options.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace sgms
+{
+
+Options::Options(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        if (body.empty())
+            fatal("malformed option '%s'", arg.c_str());
+        auto eq = body.find('=');
+        if (eq == std::string::npos) {
+            values_[body] = "1";
+        } else {
+            std::string key = body.substr(0, eq);
+            if (key.empty())
+                fatal("malformed option '%s'", arg.c_str());
+            values_[key] = body.substr(eq + 1);
+        }
+    }
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return false;
+    read_[name] = true;
+    return true;
+}
+
+std::string
+Options::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    read_[name] = true;
+    return it->second;
+}
+
+bool
+Options::get_bool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    read_[name] = true;
+    const std::string &v = it->second;
+    return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+double
+Options::get_double(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    read_[name] = true;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str())
+        fatal("option --%s: bad number '%s'", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+uint64_t
+Options::get_u64(const std::string &name, uint64_t fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    read_[name] = true;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str())
+        fatal("option --%s: bad integer '%s'", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+uint64_t
+Options::get_bytes(const std::string &name, uint64_t fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    read_[name] = true;
+    return parse_bytes(it->second);
+}
+
+std::vector<std::string>
+Options::unused() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, value] : values_) {
+        if (!read_.count(key))
+            out.push_back(key);
+    }
+    return out;
+}
+
+} // namespace sgms

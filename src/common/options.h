@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal command-line option parsing for the examples and tools.
+ *
+ * Supports `--key=value`, `--flag` (value "1"), and positional
+ * arguments, plus typed getters with defaults. `apply_overrides`
+ * (core/config_override.h) maps recognized keys onto a SimConfig so
+ * every example exposes the full simulator configuration without
+ * duplicating flag plumbing.
+ */
+
+#ifndef SGMS_COMMON_OPTIONS_H
+#define SGMS_COMMON_OPTIONS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sgms
+{
+
+/** Parsed command line. */
+class Options
+{
+  public:
+    Options() = default;
+
+    /** Parse argv; fatal() on malformed options (e.g. "--=x"). */
+    Options(int argc, char **argv);
+
+    /** True if --name was given. */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p fallback. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Boolean: "--name", "--name=1/true/yes" are true. */
+    bool get_bool(const std::string &name, bool fallback = false) const;
+
+    double get_double(const std::string &name, double fallback) const;
+
+    uint64_t get_u64(const std::string &name, uint64_t fallback) const;
+
+    /** Size in bytes; accepts suffixed values ("1K", "8K"). */
+    uint64_t get_bytes(const std::string &name,
+                       uint64_t fallback) const;
+
+    /** Non-option arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Option names that were never read (typo detection). */
+    std::vector<std::string> unused() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::map<std::string, bool> read_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_COMMON_OPTIONS_H

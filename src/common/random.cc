@@ -1,0 +1,52 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace sgms
+{
+
+ZipfTable::ZipfTable(uint64_t n, double s) : n_(n), skew_(s)
+{
+    SGMS_ASSERT(n != 0);
+    table_.resize(TABLE_SIZE);
+    double one_minus_s = 1.0 - s;
+    bool near_one = std::fabs(one_minus_s) < 1e-9;
+    double top =
+        near_one ? 0.0 : std::pow(static_cast<double>(n) + 1.0,
+                                  one_minus_s);
+    for (size_t i = 0; i < TABLE_SIZE; ++i) {
+        // Midpoint of the quantile cell, so the table is unbiased.
+        double u = (static_cast<double>(i) + 0.5) / TABLE_SIZE;
+        double x;
+        if (near_one) {
+            x = std::pow(static_cast<double>(n) + 1.0, u);
+        } else {
+            x = std::pow(u * (top - 1.0) + 1.0, 1.0 / one_minus_s);
+        }
+        uint64_t r = static_cast<uint64_t>(x) - 1;
+        table_[i] = r >= n ? n - 1 : r;
+    }
+}
+
+uint64_t
+Rng::zipf(uint64_t n, double s)
+{
+    SGMS_ASSERT(n != 0);
+    if (n == 1)
+        return 0;
+    // Inverse-CDF approximation: for s != 1 the CDF of a continuous
+    // power law on [1, n+1) is ((x^(1-s) - 1) / ((n+1)^(1-s) - 1)).
+    double u = uniform();
+    double one_minus_s = 1.0 - s;
+    double x;
+    if (std::fabs(one_minus_s) < 1e-9) {
+        x = std::pow(static_cast<double>(n) + 1.0, u);
+    } else {
+        double top = std::pow(static_cast<double>(n) + 1.0, one_minus_s);
+        x = std::pow(u * (top - 1.0) + 1.0, 1.0 / one_minus_s);
+    }
+    uint64_t r = static_cast<uint64_t>(x) - 1;
+    return r >= n ? n - 1 : r;
+}
+
+} // namespace sgms

@@ -1,0 +1,88 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgms
+{
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t n = n_ + other.n_;
+    double delta = other.mean_ - mean_;
+    double mean = mean_ + delta * other.n_ / static_cast<double>(n);
+    m2_ = m2_ + other.m2_ +
+          delta * delta * n_ * other.n_ / static_cast<double>(n);
+    mean_ = mean;
+    n_ = n;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+uint64_t
+Histogram::count(int64_t key) const
+{
+    auto it = bins_.find(key);
+    return it == bins_.end() ? 0 : it->second;
+}
+
+double
+Histogram::fraction(int64_t key) const
+{
+    return total_ ? static_cast<double>(count(key)) / total_ : 0.0;
+}
+
+std::vector<std::pair<int64_t, uint64_t>>
+Histogram::bins() const
+{
+    return {bins_.begin(), bins_.end()};
+}
+
+int64_t
+Histogram::quantile(double q) const
+{
+    SGMS_ASSERT(q >= 0.0 && q <= 1.0);
+    if (total_ == 0)
+        return 0;
+    uint64_t target = static_cast<uint64_t>(q * total_);
+    uint64_t seen = 0;
+    for (const auto &[key, cnt] : bins_) {
+        seen += cnt;
+        if (seen >= target)
+            return key;
+    }
+    return bins_.rbegin()->first;
+}
+
+Series
+Series::downsampled(size_t max_points) const
+{
+    if (points.size() <= max_points || max_points < 2)
+        return *this;
+    Series out;
+    out.name = name;
+    double step = static_cast<double>(points.size() - 1) /
+                  static_cast<double>(max_points - 1);
+    for (size_t i = 0; i < max_points; ++i) {
+        size_t idx = static_cast<size_t>(i * step + 0.5);
+        idx = std::min(idx, points.size() - 1);
+        out.points.push_back(points[idx]);
+    }
+    return out;
+}
+
+} // namespace sgms

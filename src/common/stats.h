@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Small statistics helpers: running accumulators and histograms.
+ */
+
+#ifndef SGMS_COMMON_STATS_H
+#define SGMS_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+/** Running min / max / mean / variance accumulator (Welford). */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        if (n_ == 1) {
+            min_ = max_ = x;
+        } else {
+            if (x < min_)
+                min_ = x;
+            if (x > max_)
+                max_ = x;
+        }
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        sum_ += x;
+    }
+
+    uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sample variance (n-1 denominator). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    double stddev() const;
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator &other);
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Integer-keyed histogram (sparse; suitable for subpage distances,
+ * fault counts per window, etc.).
+ */
+class Histogram
+{
+  public:
+    /** Add @p weight observations of @p key. */
+    void
+    add(int64_t key, uint64_t weight = 1)
+    {
+        bins_[key] += weight;
+        total_ += weight;
+    }
+
+    uint64_t total() const { return total_; }
+
+    /** Count observed at @p key (0 if never added). */
+    uint64_t count(int64_t key) const;
+
+    /** Fraction of observations at @p key. */
+    double fraction(int64_t key) const;
+
+    /** Sorted (key, count) pairs. */
+    std::vector<std::pair<int64_t, uint64_t>> bins() const;
+
+    /** Smallest key with cumulative fraction >= q (q in [0,1]). */
+    int64_t quantile(double q) const;
+
+    bool empty() const { return total_ == 0; }
+
+    void
+    clear()
+    {
+        bins_.clear();
+        total_ = 0;
+    }
+
+  private:
+    std::map<int64_t, uint64_t> bins_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * A named (x, y) series, used to emit figure data (e.g.\ cumulative
+ * faults over time) in both human-readable and CSV form.
+ */
+struct Series
+{
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+
+    void
+    add(double x, double y)
+    {
+        points.emplace_back(x, y);
+    }
+
+    /** Downsample to at most @p max_points, keeping endpoints. */
+    Series downsampled(size_t max_points) const;
+};
+
+} // namespace sgms
+
+#endif // SGMS_COMMON_STATS_H

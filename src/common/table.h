@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII table and CSV emission for benches and reports.
+ *
+ * Every bench prints its paper table / figure data through these
+ * helpers so that output formatting is uniform across the harness.
+ */
+
+#ifndef SGMS_COMMON_TABLE_H
+#define SGMS_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgms
+{
+
+/** Column-aligned ASCII table builder. */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Render with box-drawing separators to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (RFC-4180-ish quoting) to @p os. */
+    void print_csv(std::ostream &os) const;
+
+    /** Format helpers for numeric cells. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmt_int(int64_t v);
+    static std::string fmt_pct(double fraction, int precision = 0);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_COMMON_TABLE_H

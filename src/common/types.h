@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Fundamental types and time units for the SGMS simulator.
+ *
+ * Simulated time is kept in integer picoseconds so that all of the
+ * calibrated network-model rates (e.g.\ 51.6 ns per byte of ATM wire
+ * time) are exact in integer arithmetic. A signed 64-bit tick counter
+ * covers roughly 106 days of simulated time, far beyond any trace run.
+ */
+
+#ifndef SGMS_COMMON_TYPES_H
+#define SGMS_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace sgms
+{
+
+/** Simulated time in picoseconds. */
+using Tick = int64_t;
+
+/** A virtual (or trace) byte address. */
+using Addr = uint64_t;
+
+/** Index of a virtual page (addr / page_size). */
+using PageId = uint64_t;
+
+/** Index of a subpage within its page (0-based). */
+using SubpageIndex = uint32_t;
+
+/** Identifier of a node in the simulated cluster. */
+using NodeId = uint32_t;
+
+/** Sentinel for "no tick" / unscheduled. */
+constexpr Tick TICK_NONE = -1;
+
+/** Largest representable tick, used as +infinity. */
+constexpr Tick TICK_MAX = INT64_MAX;
+
+namespace ticks
+{
+
+constexpr Tick PS = 1;
+constexpr Tick NS = 1000 * PS;
+constexpr Tick US = 1000 * NS;
+constexpr Tick MS = 1000 * US;
+constexpr Tick SEC = 1000 * MS;
+
+/** Build a tick count from nanoseconds. */
+constexpr Tick
+from_ns(double ns)
+{
+    return static_cast<Tick>(ns * NS);
+}
+
+/** Build a tick count from microseconds. */
+constexpr Tick
+from_us(double us)
+{
+    return static_cast<Tick>(us * US);
+}
+
+/** Build a tick count from milliseconds. */
+constexpr Tick
+from_ms(double ms)
+{
+    return static_cast<Tick>(ms * MS);
+}
+
+/** Convert ticks to fractional nanoseconds. */
+constexpr double
+to_ns(Tick t)
+{
+    return static_cast<double>(t) / NS;
+}
+
+/** Convert ticks to fractional microseconds. */
+constexpr double
+to_us(Tick t)
+{
+    return static_cast<double>(t) / US;
+}
+
+/** Convert ticks to fractional milliseconds. */
+constexpr double
+to_ms(Tick t)
+{
+    return static_cast<double>(t) / MS;
+}
+
+} // namespace ticks
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+is_pow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr uint32_t
+log2_exact(uint64_t v)
+{
+    uint32_t r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+} // namespace sgms
+
+#endif // SGMS_COMMON_TYPES_H

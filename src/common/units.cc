@@ -1,0 +1,77 @@
+#include "common/units.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+std::string
+format_bytes(uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluM",
+                      static_cast<unsigned long long>(bytes >> 20));
+    else if (bytes >= 1024 && bytes % 1024 == 0)
+        std::snprintf(buf, sizeof(buf), "%lluK",
+                      static_cast<unsigned long long>(bytes >> 10));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+uint64_t
+parse_bytes(const std::string &text)
+{
+    if (text.empty())
+        fatal("parse_bytes: empty size string");
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str())
+        fatal("parse_bytes: bad size string '%s'", text.c_str());
+    uint64_t mult = 1;
+    if (*end) {
+        switch (std::toupper(static_cast<unsigned char>(*end))) {
+          case 'B':
+            mult = 1;
+            break;
+          case 'K':
+            mult = 1024;
+            break;
+          case 'M':
+            mult = 1024 * 1024;
+            break;
+          case 'G':
+            mult = 1024ULL * 1024 * 1024;
+            break;
+          default:
+            fatal("parse_bytes: bad size suffix in '%s'", text.c_str());
+        }
+    }
+    return v * mult;
+}
+
+std::string
+format_ms(Tick t, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f ms", precision,
+                  ticks::to_ms(t));
+    return buf;
+}
+
+std::string
+format_us(Tick t, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f us", precision,
+                  ticks::to_us(t));
+    return buf;
+}
+
+} // namespace sgms

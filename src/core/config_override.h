@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Map command-line options onto a SimConfig, so every tool exposes
+ * the simulator's full configuration surface uniformly.
+ *
+ * Recognized keys (all optional):
+ *   --page=<bytes>           full page size (default 8K)
+ *   --subpage=<bytes>        subpage size
+ *   --policy=<name>          fetch policy
+ *   --mem-pages=<n>          resident capacity (0 = unlimited)
+ *   --replacement=<name>     lru | fifo | clock
+ *   --servers=<n>            GMS server count
+ *   --cold                   cold global cache
+ *   --no-putpage             suppress putpage traffic
+ *   --global-capacity=<n>    per-server global memory pages
+ *   --cluster-load=<u>       foreign server utilization 0..0.8
+ *   --software-pal           PALcode protection instead of TLB bits
+ *   --tlb[=entries]          enable the TLB model
+ *   --fifo-network           disable demand priority + preemption
+ *   --proto-controller       AN2 per-subpage interrupt costs for
+ *                            pipelined transfers
+ *   --ns-per-ref=<ns>        simulation clock
+ */
+
+#ifndef SGMS_CORE_CONFIG_OVERRIDE_H
+#define SGMS_CORE_CONFIG_OVERRIDE_H
+
+#include "common/options.h"
+#include "core/sim_config.h"
+
+namespace sgms
+{
+
+/** Apply recognized option keys onto @p cfg. */
+void apply_config_overrides(SimConfig &cfg, const Options &opts);
+
+/** One-line help text for the recognized keys. */
+const char *config_override_help();
+
+} // namespace sgms
+
+#endif // SGMS_CORE_CONFIG_OVERRIDE_H

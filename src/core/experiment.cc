@@ -1,0 +1,106 @@
+#include "core/experiment.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace sgms
+{
+
+const char *
+mem_config_name(MemConfig m)
+{
+    switch (m) {
+      case MemConfig::Full:
+        return "full-mem";
+      case MemConfig::Half:
+        return "1/2-mem";
+      case MemConfig::Quarter:
+        return "1/4-mem";
+    }
+    return "?";
+}
+
+size_t
+mem_pages_for(MemConfig mem, uint64_t footprint_pages)
+{
+    switch (mem) {
+      case MemConfig::Full:
+        return 0; // unlimited
+      case MemConfig::Half:
+        return std::max<size_t>(2, footprint_pages / 2);
+      case MemConfig::Quarter:
+        return std::max<size_t>(2, footprint_pages / 4);
+    }
+    return 0;
+}
+
+uint64_t
+app_footprint_pages(const std::string &app, double scale,
+                    uint32_t page_size)
+{
+    static std::map<std::tuple<std::string, double, uint32_t>, uint64_t>
+        cache;
+    auto key = std::make_tuple(app, scale, page_size);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    auto trace = make_app_trace(app, scale);
+    uint64_t fp = measure_footprint_pages(*trace, page_size);
+    cache[key] = fp;
+    return fp;
+}
+
+std::string
+Experiment::label() const
+{
+    if (policy == "disk")
+        return "disk_" + std::to_string(base.page_size);
+    if (policy == "fullpage")
+        return "p_" + std::to_string(base.page_size);
+    std::string l = "sp_" + std::to_string(subpage_size);
+    if (policy != "eager")
+        l += " (" + policy + ")";
+    return l;
+}
+
+SimConfig
+Experiment::config() const
+{
+    SimConfig cfg = base;
+    cfg.policy = policy;
+    if (policy == "disk" || policy == "fullpage")
+        cfg.subpage_size = cfg.page_size;
+    else
+        cfg.subpage_size = subpage_size;
+    uint64_t fp = app_footprint_pages(app, scale, cfg.page_size);
+    cfg.mem_pages = mem_pages_for(mem, fp);
+    return cfg;
+}
+
+SimResult
+Experiment::run() const
+{
+    auto trace = make_app_trace(app, scale, seed);
+    Simulator sim(config());
+    SimResult res = sim.run(*trace);
+    res.app = app;
+    return res;
+}
+
+double
+scale_from_env(double fallback)
+{
+    const char *env = std::getenv("SGMS_SCALE");
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end == env || v <= 0)
+        fatal("bad SGMS_SCALE value '%s'", env);
+    return v;
+}
+
+} // namespace sgms

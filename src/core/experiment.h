@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment runner helpers shared by the benches and examples.
+ *
+ * Encapsulates the paper's experimental conventions: memory
+ * configurations are expressed as fractions of an application's
+ * footprint ("full-mem", "1/2-mem", "1/4-mem"), policies are labelled
+ * disk_8192 / p_8192 / sp_<size>, and the global cache is warm.
+ */
+
+#ifndef SGMS_CORE_EXPERIMENT_H
+#define SGMS_CORE_EXPERIMENT_H
+
+#include <string>
+
+#include "core/sim_config.h"
+#include "core/sim_result.h"
+#include "core/simulator.h"
+#include "trace/apps.h"
+
+namespace sgms
+{
+
+/** The paper's three memory configurations. */
+enum class MemConfig
+{
+    Full,    ///< as much memory as the program needs
+    Half,    ///< half the maximum
+    Quarter, ///< one quarter of the maximum
+};
+
+const char *mem_config_name(MemConfig m);
+
+/** Resident-set capacity in pages for @p mem given a footprint. */
+size_t mem_pages_for(MemConfig mem, uint64_t footprint_pages);
+
+/**
+ * Footprint (pages) of an application model at a scale; memoized,
+ * since measuring it means streaming the whole trace once.
+ */
+uint64_t app_footprint_pages(const std::string &app, double scale,
+                             uint32_t page_size = 8192);
+
+/** One experiment: app x policy x subpage size x memory config. */
+struct Experiment
+{
+    std::string app = "modula3";
+    double scale = 1.0;
+    uint64_t seed = 1;
+
+    /** "disk", "fullpage", "eager", "pipelining", ... */
+    std::string policy = "eager";
+
+    /** Subpage size; ignored for disk/fullpage (always 8K). */
+    uint32_t subpage_size = 1024;
+
+    MemConfig mem = MemConfig::Half;
+
+    /**
+     * Base configuration; policy/subpage/mem fields are filled in by
+     * run(). Lets callers override network parameters, protection
+     * mode, replacement policy, etc.
+     */
+    SimConfig base;
+
+    /** Paper-style label, e.g. "sp_1024", "p_8192", "disk_8192". */
+    std::string label() const;
+
+    /** Build the final SimConfig. */
+    SimConfig config() const;
+
+    /** Run it. */
+    SimResult run() const;
+};
+
+/**
+ * Read the trace scale from SGMS_SCALE (for quick bench runs),
+ * falling back to @p fallback.
+ */
+double scale_from_env(double fallback = 1.0);
+
+} // namespace sgms
+
+#endif // SGMS_CORE_EXPERIMENT_H

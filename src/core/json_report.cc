@@ -1,0 +1,132 @@
+#include "core/json_report.h"
+
+#include <cstdio>
+
+namespace sgms
+{
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+void
+field(std::ostream &os, const char *name, uint64_t v, bool comma = true)
+{
+    os << "\"" << name << "\":" << v;
+    if (comma)
+        os << ",";
+}
+
+void
+field_ms(std::ostream &os, const char *name, Tick t, bool comma = true)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", ticks::to_ms(t));
+    os << "\"" << name << "_ms\":" << buf;
+    if (comma)
+        os << ",";
+}
+
+} // namespace
+
+void
+write_result_json(std::ostream &os, const SimResult &r,
+                  bool include_faults)
+{
+    os << "{";
+    os << "\"app\":\"" << json_escape(r.app) << "\",";
+    os << "\"policy\":\"" << json_escape(r.policy) << "\",";
+    field(os, "page_size", r.page_size);
+    field(os, "subpage_size", r.subpage_size);
+    field(os, "mem_pages", r.mem_pages);
+    field(os, "refs", r.refs);
+    field(os, "page_faults", r.page_faults);
+    field(os, "lazy_subpage_faults", r.lazy_subpage_faults);
+    field(os, "evictions", r.evictions);
+    field(os, "putpages", r.putpages);
+    field(os, "global_discards", r.global_discards);
+    field_ms(os, "runtime", r.runtime);
+    field_ms(os, "exec", r.exec_time);
+    field_ms(os, "sp_latency", r.sp_latency);
+    field_ms(os, "page_wait", r.page_wait);
+    field_ms(os, "recv_overhead", r.recv_overhead);
+    field_ms(os, "emulation_overhead", r.emulation_overhead);
+    field_ms(os, "tlb_overhead", r.tlb_overhead);
+    field_ms(os, "io_overlap", r.io_overlap);
+    field_ms(os, "comp_overlap", r.comp_overlap);
+    field(os, "net_messages", r.net_stats.messages);
+    field(os, "net_bytes", r.net_stats.bytes);
+    os << "\"distance_histogram\":{";
+    bool first = true;
+    for (const auto &[d, c] : r.next_subpage_distance.bins()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << d << "\":" << c;
+    }
+    os << "}";
+    if (include_faults) {
+        os << ",\"faults\":[";
+        for (size_t i = 0; i < r.faults.size(); ++i) {
+            const auto &f = r.faults[i];
+            if (i)
+                os << ",";
+            os << "{";
+            field(os, "page", f.page);
+            field(os, "ref_index", f.ref_index);
+            field_ms(os, "sp_wait", f.sp_wait);
+            field_ms(os, "page_wait", f.page_wait);
+            os << "\"from_disk\":" << (f.from_disk ? "true" : "false")
+               << "}";
+        }
+        os << "]";
+    }
+    os << "}";
+}
+
+void
+write_results_json(std::ostream &os,
+                   const std::vector<SimResult> &results,
+                   bool include_faults)
+{
+    os << "[";
+    for (size_t i = 0; i < results.size(); ++i) {
+        if (i)
+            os << ",\n";
+        write_result_json(os, results[i], include_faults);
+    }
+    os << "]\n";
+}
+
+} // namespace sgms

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * JSON serialization of simulation results, for archiving runs and
+ * regression-diffing experiment outputs outside the C++ tooling.
+ * (Hand-rolled emitter; the output is small and flat.)
+ */
+
+#ifndef SGMS_CORE_JSON_REPORT_H
+#define SGMS_CORE_JSON_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/sim_result.h"
+
+namespace sgms
+{
+
+/**
+ * Emit @p result as a JSON object. @p include_faults controls
+ * whether the (potentially large) per-fault record array is written.
+ */
+void write_result_json(std::ostream &os, const SimResult &result,
+                       bool include_faults = false);
+
+/** Emit several results as a JSON array. */
+void write_results_json(std::ostream &os,
+                        const std::vector<SimResult> &results,
+                        bool include_faults = false);
+
+/** Escape a string for inclusion in JSON output. */
+std::string json_escape(const std::string &s);
+
+} // namespace sgms
+
+#endif // SGMS_CORE_JSON_REPORT_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Configuration of one simulation run.
+ */
+
+#ifndef SGMS_CORE_SIM_CONFIG_H
+#define SGMS_CORE_SIM_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "gms/cluster_load.h"
+#include "gms/gms.h"
+#include "net/params.h"
+#include "net/timeline.h"
+#include "proto/palcode.h"
+
+namespace sgms
+{
+
+/** Everything that parameterizes a Simulator run. */
+struct SimConfig
+{
+    /** Full page size (bytes, power of two). */
+    uint32_t page_size = 8192;
+
+    /** Subpage size (bytes, power of two, <= page_size). */
+    uint32_t subpage_size = 8192;
+
+    /**
+     * Local memory capacity in pages; 0 means unlimited (the paper's
+     * "full-mem" configuration, where all faults are initial faults).
+     */
+    size_t mem_pages = 0;
+
+    /** Replacement policy: "lru" (default), "fifo", "clock". */
+    std::string replacement = "lru";
+
+    /**
+     * Fetch policy: "fullpage", "eager", "pipelining",
+     * "pipelining-all", "pipelining-doubled", "pipelining-initial2x",
+     * "lazy", "disk".
+     */
+    std::string policy = "fullpage";
+
+    /**
+     * Simulation clock: CPU time per trace event. The paper
+     * calibrated ~12 ns/event with its cache simulator (section 3.2);
+     * cache/cache_sim.h reproduces that number.
+     */
+    Tick ns_per_ref = ticks::from_ns(12);
+
+    /** Network latency parameters (default: calibrated AN2). */
+    NetParams net = NetParams::an2();
+
+    /** Disk model for disk-policy runs and cold-cache misses. */
+    DiskParams disk = DiskParams::default_local();
+
+    /** Global memory cluster configuration. */
+    GmsConfig gms;
+
+    /**
+     * Foreign GMS traffic at the servers (other active nodes);
+     * disabled by default, as in the paper's single-client setup.
+     */
+    ClusterLoadConfig cluster_load;
+
+    /** Subpage protection: hardware TLB bits or PALcode emulation. */
+    ProtectionMode protection = ProtectionMode::HardwareTlb;
+
+    /** Emulation costs when protection == SoftwarePal. */
+    PalCosts pal;
+
+    /** Model a TLB (needed for the small-pages comparison). */
+    bool tlb_enabled = false;
+    uint32_t tlb_entries = 32;
+    uint32_t tlb_assoc = 32; ///< fully associative by default
+    Tick tlb_miss_cost = ticks::from_ns(200);
+
+    /** Keep per-fault records (Figure 5) and distance stats (Fig 7). */
+    bool record_faults = true;
+
+    /** Optional capture of component busy spans (Figure 2). */
+    TimelineRecorder *timeline = nullptr;
+};
+
+} // namespace sgms
+
+#endif // SGMS_CORE_SIM_CONFIG_H

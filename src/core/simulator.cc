@@ -1,0 +1,388 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+namespace
+{
+/** Minimum references between replacement-policy touches per page. */
+constexpr uint64_t TOUCH_GRANULARITY = 64;
+} // namespace
+
+Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.mem_pages == 1)
+        fatal("simulator: mem_pages must be 0 (unlimited) or >= 2");
+    if (cfg_.subpage_size > cfg_.page_size)
+        fatal("simulator: subpage larger than page");
+}
+
+Simulator::Run::Run(const SimConfig &cfg)
+    : net(eq, cfg.net, /*requester=*/0, cfg.timeline),
+      gms(net, cfg.gms, /*requester=*/0),
+      geo(cfg.page_size, cfg.subpage_size),
+      pt(geo, cfg.mem_pages, cfg.replacement),
+      policy(make_fetch_policy(cfg.policy)), pal(cfg.pal)
+{
+    if (cfg.tlb_enabled)
+        tlb = std::make_unique<Tlb>(cfg.tlb_entries, cfg.tlb_assoc,
+                                    cfg.page_size);
+    if (cfg.cluster_load.server_utilization > 0.0) {
+        cluster_load = std::make_unique<ClusterLoad>(
+            eq, net, cfg.cluster_load, cfg.gms.servers, 0);
+    }
+    res.policy = cfg.policy;
+    res.page_size = cfg.page_size;
+    res.subpage_size = cfg.subpage_size;
+    res.mem_pages = cfg.mem_pages;
+}
+
+void
+Simulator::drain_due_events(Run &r)
+{
+    if (r.eq.next_time() <= r.now)
+        r.eq.run_until(r.now);
+    if (r.pending_steal) {
+        r.now += r.pending_steal;
+        r.res.recv_overhead += r.pending_steal;
+        r.pending_steal = 0;
+        // The steal may have pushed us past more event times.
+        if (r.eq.next_time() <= r.now)
+            r.eq.run_until(r.now);
+    }
+}
+
+Tick
+Simulator::wait_until(Run &r, const std::function<bool()> &pred)
+{
+    Tick start = r.now;
+    r.blocked = true;
+    r.wait_start = r.now;
+    while (!pred()) {
+        SGMS_ASSERT(!r.eq.empty()); // otherwise the wait can never end
+        Tick t = r.eq.run_one();
+        if (t > r.now)
+            r.now = t;
+    }
+    r.blocked = false;
+    Tick waited = r.now - start;
+    r.total_blocked += waited;
+    // Anything that arrived while blocked cannot also steal CPU.
+    r.pending_steal = 0;
+    return waited;
+}
+
+void
+Simulator::disk_wait(Run &r, Tick latency)
+{
+    Tick target = r.now + latency;
+    r.blocked = true;
+    r.wait_start = r.now;
+    r.eq.run_until(target);
+    r.now = target;
+    r.blocked = false;
+    r.total_blocked += latency;
+    r.pending_steal = 0;
+}
+
+void
+Simulator::resolve_watch(Run &r, PageTable::Frame &frame,
+                         SubpageIndex touched)
+{
+    if (frame.watch_from < 0)
+        return;
+    if (static_cast<SubpageIndex>(frame.watch_from) == touched)
+        return;
+    int distance = static_cast<int>(touched) - frame.watch_from;
+    if (cfg_.record_faults)
+        r.res.next_subpage_distance.add(distance);
+    // Adaptive policies learn the follow-on order from this signal.
+    r.policy->observe_distance(distance);
+    frame.watch_from = -1;
+}
+
+void
+Simulator::deliver(Run &r, PageId page, uint64_t fault_id,
+                   uint64_t mask, bool demand, Tick issued,
+                   Tick blocked_at_issue, Tick delivered, Tick recv_cpu)
+{
+    PageTable::Frame *frame = r.pt.find(page);
+    // Drop late arrivals for pages that were evicted (and possibly
+    // refaulted, which changes the fault id) while in flight.
+    if (!frame || frame->fault_id != fault_id)
+        return;
+
+    uint64_t m = mask;
+    while (m) {
+        SubpageIndex idx = __builtin_ctzll(m);
+        m &= m - 1;
+        r.pt.mark_valid(page, idx);
+    }
+    if (frame->complete)
+        r.pal.page_completed(page);
+
+    if (recv_cpu && !r.blocked)
+        r.pending_steal += recv_cpu;
+
+    if (!demand) {
+        // Attribute this background transfer's duration to I/O vs
+        // computational overlap (section 4.2).
+        Tick dur = delivered - issued;
+        Tick blocked_during = r.blocked_at(delivered) - blocked_at_issue;
+        blocked_during = std::clamp<Tick>(blocked_during, 0, dur);
+        r.res.io_overlap += blocked_during;
+        r.res.comp_overlap += dur - blocked_during;
+    }
+}
+
+void
+Simulator::issue_transfers(Run &r, PageId page, uint64_t fault_id,
+                           const FetchPlan &plan)
+{
+    NodeId srv = r.gms.server_of(page);
+    // Mark everything the plan covers as in flight immediately; the
+    // program is blocked on the demand segment until it arrives, so
+    // nothing can observe the gap before the server starts sending.
+    if (PageTable::Frame *frame = r.pt.find(page)) {
+        for (const auto &seg : plan.segments)
+            frame->inflight |= seg.subpage_mask;
+    }
+
+    // The fault-handling fixed cost elapses on the (blocked) faulting
+    // CPU before the request message is injected. Injection must
+    // happen *at* t0, via the event queue — injecting early with a
+    // future timestamp would race the stage resources' bookkeeping.
+    Tick t0 = r.now + cfg_.net.fault_handle;
+    // Copy the plan into the request-completion closure: the server
+    // sends the demand segment and everything behind it back-to-back.
+    r.eq.schedule(t0, [this, &r, page, fault_id, srv, plan, t0] {
+        r.net.send(t0,
+               {0, srv, cfg_.net.request_bytes, MsgKind::Request, false,
+                [this, &r, page, fault_id, srv,
+                 plan](Tick when, Tick) {
+                    for (const auto &seg : plan.segments) {
+                        Tick blocked_at_issue = r.blocked_at(when);
+                        r.net.send(
+                            when,
+                            {srv, 0, seg.bytes,
+                             seg.demand ? MsgKind::DemandData
+                                        : MsgKind::BackgroundData,
+                             seg.pipelined_recv,
+                             [this, &r, page, fault_id,
+                              mask = seg.subpage_mask,
+                              demand = seg.demand, issued = when,
+                              blocked_at_issue](Tick d, Tick rc) {
+                                 deliver(r, page, fault_id, mask,
+                                         demand, issued,
+                                         blocked_at_issue, d, rc);
+                             }});
+                    }
+                }});
+    });
+}
+
+void
+Simulator::handle_page_fault(Run &r, PageId page, const TraceEvent &ev)
+{
+    ++r.res.page_faults;
+    if (cfg_.record_faults) {
+        r.res.clustering.add(static_cast<double>(r.ref_index),
+                             static_cast<double>(r.res.page_faults));
+    }
+
+    // Make room, shipping the victim to global memory.
+    if (r.pt.full()) {
+        PageTable::Frame victim_state;
+        PageId victim = r.pt.evict(&victim_state);
+        r.gms.put_page(r.now, victim, cfg_.page_size,
+                       victim_state.dirty);
+    }
+
+    PageTable::Frame &frame = r.pt.install(page);
+    uint64_t fault_id = r.res.faults.size();
+    frame.fault_id = fault_id;
+    frame.last_touch = r.ref_index;
+
+    SubpageIndex sp = r.geo.subpage_of(ev.addr);
+    uint32_t byte_in_sub =
+        ev.addr & (cfg_.subpage_size - 1);
+    uint64_t missing = ~0ULL;
+    if (r.geo.subpages_per_page() < 64)
+        missing = (1ULL << r.geo.subpages_per_page()) - 1;
+
+    FaultRecord rec{page, r.ref_index, r.now, 0, 0, false};
+
+    FetchPlan plan =
+        r.policy->plan(r.geo, sp, byte_in_sub, missing);
+    if (plan.from_disk || !r.gms.in_global_memory(page)) {
+        Tick lat = cfg_.disk.access_latency(cfg_.page_size);
+        disk_wait(r, lat);
+        r.res.sp_latency += lat;
+        rec.sp_wait = lat;
+        rec.from_disk = true;
+        r.pt.mark_all_valid(page);
+    } else {
+        issue_transfers(r, page, fault_id, plan);
+        Tick waited = wait_until(r, [&r, page, sp] {
+            PageTable::Frame *f = r.pt.find(page);
+            return f && f->valid.test(sp);
+        });
+        r.res.sp_latency += waited;
+        rec.sp_wait = waited;
+    }
+
+    // Start watching for the next access to a different subpage
+    // (Figure 7), unless the whole page just arrived at once.
+    PageTable::Frame *f = r.pt.find(page);
+    SGMS_ASSERT(f);
+    if (!f->complete)
+        f->watch_from = static_cast<int16_t>(sp);
+    else if (r.geo.subpages_per_page() > 1)
+        f->watch_from = static_cast<int16_t>(sp);
+    if (ev.write)
+        f->dirty = true;
+
+    if (cfg_.record_faults)
+        r.res.faults.push_back(rec);
+}
+
+void
+Simulator::handle_subpage_fault(Run &r, PageId page,
+                                PageTable::Frame &frame,
+                                const TraceEvent &ev)
+{
+    // Only the lazy policy leaves resident pages with missing,
+    // not-in-flight subpages.
+    ++r.res.lazy_subpage_faults;
+
+    SubpageIndex sp = r.geo.subpage_of(ev.addr);
+    uint32_t byte_in_sub = ev.addr & (cfg_.subpage_size - 1);
+    uint64_t missing = ~frame.valid.raw();
+    if (r.geo.subpages_per_page() < 64)
+        missing &= (1ULL << r.geo.subpages_per_page()) - 1;
+
+    FetchPlan plan = r.policy->plan(r.geo, sp, byte_in_sub, missing);
+    SGMS_ASSERT(!plan.from_disk);
+    issue_transfers(r, page, frame.fault_id, plan);
+    Tick waited = wait_until(r, [&r, page, sp] {
+        PageTable::Frame *f = r.pt.find(page);
+        return f && f->valid.test(sp);
+    });
+    r.res.sp_latency += waited;
+    if (frame.fault_id < r.res.faults.size())
+        r.res.faults[frame.fault_id].page_wait += waited;
+}
+
+SimResult
+Simulator::run(TraceSource &trace)
+{
+    Run r(cfg_);
+    trace.reset();
+
+    const Tick step = cfg_.ns_per_ref;
+    const bool software_pal =
+        cfg_.protection == ProtectionMode::SoftwarePal;
+
+    PageId last_page = ~0ULL;
+    bool last_fast = false;
+    // Valid while last_fast: no page can be installed (and thus no
+    // frame storage can move) without a fault, which goes through
+    // the slow path and refreshes this.
+    PageTable::Frame *last_frame = nullptr;
+
+    TraceEvent ev;
+    while (trace.next(ev)) {
+        drain_due_events(r);
+
+        if (r.tlb && !r.tlb->access(ev.addr)) {
+            r.now += cfg_.tlb_miss_cost;
+            r.res.tlb_overhead += cfg_.tlb_miss_cost;
+            // The refill may have pushed us past pending events;
+            // they must run before any fault handling injects new
+            // messages (stage resources assume submissions at the
+            // current time).
+            if (r.eq.next_time() <= r.now)
+                r.eq.run_until(r.now);
+        }
+
+        PageId page = r.geo.page_of(ev.addr);
+        if (page != last_page || !last_fast) {
+            PageTable::Frame *frame = r.pt.find(page);
+            if (!frame) {
+                handle_page_fault(r, page, ev);
+                frame = r.pt.find(page);
+                SGMS_ASSERT(frame);
+            } else {
+                // Refresh the replacement policy's recency, but only
+                // every TOUCH_GRANULARITY references per page: exact
+                // per-reference LRU ordering costs a list splice per
+                // reference and is indistinguishable at page-fault
+                // reuse distances.
+                if (page != last_page &&
+                    r.ref_index - frame->last_touch >=
+                        TOUCH_GRANULARITY) {
+                    r.pt.touch(page);
+                    frame->last_touch = r.ref_index;
+                }
+                SubpageIndex sp = r.geo.subpage_of(ev.addr);
+                if (!frame->valid.test(sp)) {
+                    if (frame->subpage_inflight(sp)) {
+                        // Stall until the in-flight transfer lands:
+                        // the page_wait component of Figure 4.
+                        uint64_t fid = frame->fault_id;
+                        Tick waited =
+                            wait_until(r, [&r, page, sp] {
+                                PageTable::Frame *f = r.pt.find(page);
+                                return f && f->valid.test(sp);
+                            });
+                        r.res.page_wait += waited;
+                        if (fid < r.res.faults.size())
+                            r.res.faults[fid].page_wait += waited;
+                    } else {
+                        handle_subpage_fault(r, page, *frame, ev);
+                    }
+                    frame = r.pt.find(page);
+                    SGMS_ASSERT(frame);
+                } else if (software_pal && !frame->complete) {
+                    Tick cost = r.pal.access_cost(page, ev.write);
+                    r.now += cost;
+                    r.res.emulation_overhead += cost;
+                }
+                resolve_watch(r, *frame, r.geo.subpage_of(ev.addr));
+                if (ev.write)
+                    frame->dirty = true;
+            }
+            last_page = page;
+            last_fast = frame->complete && frame->watch_from < 0;
+            last_frame = frame;
+        } else if (ev.write) {
+            // Fast path: same complete page — only the dirty bit can
+            // change.
+            last_frame->dirty = true;
+        }
+
+        r.now += step;
+        r.res.exec_time += step;
+        ++r.ref_index;
+    }
+
+    r.res.refs = r.ref_index;
+    r.res.runtime = r.now;
+    r.res.evictions = r.pt.evictions();
+    r.res.putpages = r.gms.putpages();
+    r.res.global_discards = r.gms.global_discards();
+    r.res.net_stats = r.net.stats();
+    r.res.requester_wire_busy = r.net.wire_to(0).total_busy();
+    r.res.requester_dma_busy = r.net.dma(0).total_busy();
+    r.res.requester_cpu_busy = r.net.cpu(0).total_busy();
+    if (r.tlb)
+        r.res.tlb_stats = r.tlb->stats();
+    r.res.emulated_accesses = r.pal.emulated();
+    return r.res;
+}
+
+} // namespace sgms

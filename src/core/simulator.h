@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The trace-driven global-memory simulator (the paper's section 3.2).
+ *
+ * The traced program is the simulation's main thread: it consumes
+ * references, advancing the clock by ns_per_ref each, and blocks when
+ * it touches non-resident data. Page fetches run through the staged
+ * network model as asynchronous events, so transfer pipelining,
+ * congestion, receive-interrupt stealing, and the overlap of
+ * transfers with execution and with each other all emerge from the
+ * event interleaving rather than from closed-form approximations.
+ */
+
+#ifndef SGMS_CORE_SIMULATOR_H
+#define SGMS_CORE_SIMULATOR_H
+
+#include <functional>
+#include <memory>
+
+#include "core/sim_config.h"
+#include "core/sim_result.h"
+#include "gms/cluster_load.h"
+#include "gms/gms.h"
+#include "mem/page.h"
+#include "mem/page_table.h"
+#include "mem/tlb.h"
+#include "net/network.h"
+#include "policy/fetch_policy.h"
+#include "proto/palcode.h"
+#include "sim/event_queue.h"
+#include "trace/trace.h"
+
+namespace sgms
+{
+
+/** Runs one trace under one configuration. */
+class Simulator
+{
+  public:
+    explicit Simulator(SimConfig cfg);
+
+    /** Simulate the whole trace; reusable (state is per-run). */
+    SimResult run(TraceSource &trace);
+
+    const SimConfig &config() const { return cfg_; }
+
+  private:
+    /** All mutable state of one run. */
+    struct Run
+    {
+        Run(const SimConfig &cfg);
+
+        EventQueue eq;
+        Network net;
+        GmsCluster gms;
+        PageGeometry geo;
+        PageTable pt;
+        std::unique_ptr<FetchPolicy> policy;
+        PalEmulator pal;
+        std::unique_ptr<Tlb> tlb;
+        std::unique_ptr<ClusterLoad> cluster_load;
+
+        Tick now = 0;
+        uint64_t ref_index = 0;
+
+        // Blocking bookkeeping (for overlap attribution).
+        bool blocked = false;
+        Tick wait_start = 0;
+        Tick total_blocked = 0;
+
+        // Receive-CPU time arriving while the program runs.
+        Tick pending_steal = 0;
+
+        SimResult res;
+
+        /** Cumulative blocked time as of time @p t. */
+        Tick
+        blocked_at(Tick t) const
+        {
+            return blocked ? total_blocked + (t - wait_start)
+                           : total_blocked;
+        }
+    };
+
+    void drain_due_events(Run &r);
+    Tick wait_until(Run &r, const std::function<bool()> &pred);
+    void handle_page_fault(Run &r, PageId page, const TraceEvent &ev);
+    void handle_subpage_fault(Run &r, PageId page,
+                              PageTable::Frame &frame,
+                              const TraceEvent &ev);
+    void issue_transfers(Run &r, PageId page, uint64_t fault_id,
+                         const FetchPlan &plan);
+    void deliver(Run &r, PageId page, uint64_t fault_id, uint64_t mask,
+                 bool demand, Tick issued, Tick blocked_at_issue,
+                 Tick delivered, Tick recv_cpu);
+    void disk_wait(Run &r, Tick latency);
+    void resolve_watch(Run &r, PageTable::Frame &frame,
+                       SubpageIndex touched);
+
+    SimConfig cfg_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_CORE_SIMULATOR_H

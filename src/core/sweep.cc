@@ -1,0 +1,62 @@
+#include "core/sweep.h"
+
+namespace sgms
+{
+
+namespace
+{
+
+bool
+has_subpage_dimension(const std::string &policy)
+{
+    return policy != "fullpage" && policy != "disk";
+}
+
+} // namespace
+
+size_t
+SweepSpec::point_count() const
+{
+    size_t n = 0;
+    for (const auto &policy : policies) {
+        size_t per_mem =
+            has_subpage_dimension(policy) ? subpage_sizes.size() : 1;
+        n += apps.size() * mems.size() * per_mem;
+    }
+    return n;
+}
+
+std::vector<SimResult>
+run_sweep(const SweepSpec &spec,
+          const std::function<void(const Experiment &)> &progress)
+{
+    std::vector<SimResult> out;
+    out.reserve(spec.point_count());
+    for (const auto &app : spec.apps) {
+        for (MemConfig mem : spec.mems) {
+            for (const auto &policy : spec.policies) {
+                std::vector<uint32_t> sizes =
+                    has_subpage_dimension(policy)
+                        ? spec.subpage_sizes
+                        : std::vector<uint32_t>{spec.base.page_size};
+                for (uint32_t sp : sizes) {
+                    Experiment ex;
+                    ex.app = app;
+                    ex.scale = spec.scale;
+                    ex.seed = spec.seed;
+                    ex.policy = policy;
+                    ex.subpage_size = sp;
+                    ex.mem = mem;
+                    ex.base = spec.base;
+                    if (progress)
+                        progress(ex);
+                    SimResult r = ex.run();
+                    out.push_back(std::move(r));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace sgms

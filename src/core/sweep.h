@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Grid-sweep driver: run a cross product of applications, policies,
+ * subpage sizes and memory configurations, collecting SimResults.
+ * Used by the data-export tooling and sensitivity studies.
+ */
+
+#ifndef SGMS_CORE_SWEEP_H
+#define SGMS_CORE_SWEEP_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace sgms
+{
+
+/** A grid of experiments. */
+struct SweepSpec
+{
+    std::vector<std::string> apps = {"modula3"};
+    std::vector<std::string> policies = {"fullpage", "eager"};
+    /** Used only for policies that take a subpage size. */
+    std::vector<uint32_t> subpage_sizes = {1024};
+    std::vector<MemConfig> mems = {MemConfig::Half};
+    double scale = 1.0;
+    uint64_t seed = 1;
+    /** Base configuration applied to every point. */
+    SimConfig base;
+
+    /** Number of experiment points the grid expands to. */
+    size_t point_count() const;
+};
+
+/**
+ * Run the whole grid. Policies without a subpage dimension
+ * ("fullpage", "disk") run once per (app, mem) regardless of the
+ * subpage list. @p progress, if set, is called before each run.
+ */
+std::vector<SimResult>
+run_sweep(const SweepSpec &spec,
+          const std::function<void(const Experiment &)> &progress =
+              nullptr);
+
+} // namespace sgms
+
+#endif // SGMS_CORE_SWEEP_H

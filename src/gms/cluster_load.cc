@@ -1,0 +1,64 @@
+#include "gms/cluster_load.h"
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+ClusterLoad::ClusterLoad(EventQueue &eq, Network &net,
+                         ClusterLoadConfig cfg, uint32_t servers,
+                         NodeId requester)
+    : eq_(eq), net_(net), cfg_(cfg), requester_(requester),
+      rng_(cfg.seed)
+{
+    if (cfg_.server_utilization <= 0.0)
+        return;
+    if (cfg_.server_utilization > 0.85)
+        fatal("cluster load: utilization %.2f would saturate servers",
+              cfg_.server_utilization);
+    for (uint32_t s = 1; s <= servers; ++s)
+        schedule_next(requester_ + s, 0);
+}
+
+Tick
+ClusterLoad::mean_interval() const
+{
+    // Work one foreign fetch puts on the server's DMA engine: the
+    // demand subpage plus the rest of the page.
+    const NetParams &p = net_.params();
+    Tick dma_work = 2 * p.dma_fixed +
+                    p.dma_per_byte * cfg_.page_bytes;
+    return static_cast<Tick>(dma_work / cfg_.server_utilization);
+}
+
+void
+ClusterLoad::schedule_next(NodeId server, Tick now)
+{
+    // Exponential-ish inter-arrivals (sum of two uniforms keeps it
+    // deterministic and bounded, close enough to Poisson for the
+    // contention effect).
+    Tick mean = mean_interval();
+    Tick gap = rng_.range(mean / 2, mean + mean / 2);
+    eq_.schedule(now + gap, [this, server, at = now + gap] {
+        inject(server, at);
+        schedule_next(server, at);
+    });
+}
+
+void
+ClusterLoad::inject(NodeId server, Tick now)
+{
+    ++injected_;
+    // Phantom destination: unique per server, far from real nodes,
+    // so foreign traffic contends only at the server stages.
+    NodeId phantom = requester_ + 1000 + server;
+    uint32_t rest = cfg_.page_bytes - cfg_.subpage_bytes;
+    net_.send(now, {server, phantom, cfg_.subpage_bytes,
+                    MsgKind::DemandData, false, nullptr});
+    if (rest) {
+        net_.send(now, {server, phantom, rest,
+                        MsgKind::BackgroundData, false, nullptr});
+    }
+}
+
+} // namespace sgms

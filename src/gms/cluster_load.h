@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Background cluster load: other active GMS clients.
+ *
+ * The paper's experiments run a single active node against idle
+ * servers. In a deployed global memory system the servers also field
+ * getpage traffic from other nodes, which contends with the traced
+ * program at the server CPU and DMA stages. This injector models
+ * that: each server periodically serves a synthetic remote fetch
+ * (demand subpage + rest of page) to a phantom node, at a rate set
+ * by a target utilization.
+ */
+
+#ifndef SGMS_GMS_CLUSTER_LOAD_H
+#define SGMS_GMS_CLUSTER_LOAD_H
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace sgms
+{
+
+/** Configuration of the background cluster load. */
+struct ClusterLoadConfig
+{
+    /**
+     * Target utilization of each server's DMA engine by foreign
+     * traffic, 0..~0.8. Zero disables the injector.
+     */
+    double server_utilization = 0.0;
+
+    /** Subpage size foreign clients use for their demand fetches. */
+    uint32_t subpage_bytes = 1024;
+
+    /** Page size foreign clients fetch. */
+    uint32_t page_bytes = 8192;
+
+    uint64_t seed = 12345;
+};
+
+/** Drives synthetic foreign fetches through the servers. */
+class ClusterLoad
+{
+  public:
+    /**
+     * @param eq        shared event queue
+     * @param net       cluster network
+     * @param cfg       load parameters
+     * @param servers   number of GMS servers (nodes 1..servers when
+     *                  the requester is node 0)
+     * @param requester the traced node (phantom destinations are
+     *                  placed far above it)
+     */
+    ClusterLoad(EventQueue &eq, Network &net, ClusterLoadConfig cfg,
+                uint32_t servers, NodeId requester = 0);
+
+    /** Foreign fetches injected so far. */
+    uint64_t injected() const { return injected_; }
+
+  private:
+    void schedule_next(NodeId server, Tick now);
+    void inject(NodeId server, Tick now);
+    Tick mean_interval() const;
+
+    EventQueue &eq_;
+    Network &net_;
+    ClusterLoadConfig cfg_;
+    NodeId requester_;
+    Rng rng_;
+    uint64_t injected_ = 0;
+};
+
+} // namespace sgms
+
+#endif // SGMS_GMS_CLUSTER_LOAD_H

@@ -1,0 +1,28 @@
+#include "gms/gms.h"
+
+namespace sgms
+{
+
+void
+GmsCluster::put_page(Tick now, PageId page, uint32_t page_bytes,
+                     bool dirty)
+{
+    bool newly_stored = evicted_.insert(page).second;
+    if (cfg_.server_capacity_pages != 0 && newly_stored) {
+        ServerStore &store = per_server_[server_of(page)];
+        store.fifo.push_back(page);
+        if (store.fifo.size() > cfg_.server_capacity_pages) {
+            PageId dropped = store.fifo.front();
+            store.fifo.pop_front();
+            evicted_.erase(dropped);
+            ++discards_;
+        }
+    }
+    if (!cfg_.putpage_traffic || !dirty)
+        return;
+    ++putpages_;
+    net_.send(now, {requester_, server_of(page), page_bytes,
+                    MsgKind::PutPage, false, nullptr});
+}
+
+} // namespace sgms

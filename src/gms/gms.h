@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Global memory system: the network-wide page cache.
+ *
+ * Models the GMS substrate of [Feeley et al., SOSP'95] at the level
+ * this paper's simulator needs: a directory mapping each page to the
+ * idle node storing it, a warm/cold global cache, and putpage
+ * (eviction) traffic. Faulted pages whose data is not in any remote
+ * memory are serviced from disk.
+ */
+
+#ifndef SGMS_GMS_GMS_H
+#define SGMS_GMS_GMS_H
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.h"
+#include "net/network.h"
+
+namespace sgms
+{
+
+/** Configuration of the global memory cluster. */
+struct GmsConfig
+{
+    /** Number of idle nodes storing global pages. */
+    uint32_t servers = 4;
+
+    /**
+     * Warm global cache: every page starts out stored in network
+     * memory (the paper's experimental setup). When false, a page is
+     * only in global memory after the faulting node evicts it there.
+     */
+    bool warm = true;
+
+    /**
+     * Send putpage messages for evicted dirty pages (they occupy the
+     * network as background traffic).
+     */
+    bool putpage_traffic = true;
+
+    /**
+     * Idle memory available per server for evicted pages, in pages;
+     * 0 = unlimited (the paper's assumption). With a finite
+     * capacity, the oldest evicted page is discarded from global
+     * memory when a server fills up, and a later fault on it must go
+     * to disk (only observable in cold-cache mode, since a warm
+     * cache by definition holds everything).
+     */
+    uint64_t server_capacity_pages = 0;
+};
+
+/** Directory + server placement for the global page cache. */
+class GmsCluster
+{
+  public:
+    /**
+     * @param net       cluster interconnect
+     * @param cfg       cluster configuration
+     * @param requester node id of the faulting (traced) node;
+     *                  servers get ids requester+1 ... requester+N
+     */
+    GmsCluster(Network &net, GmsConfig cfg, NodeId requester = 0)
+        : net_(net), cfg_(cfg), requester_(requester)
+    {
+        if (cfg_.servers == 0)
+            fatal("gms: need at least one server node");
+    }
+
+    /** Node storing @p page's global copy (stable hash placement). */
+    NodeId
+    server_of(PageId page) const
+    {
+        // SplitMix64 finalizer as a page->server hash.
+        uint64_t z = page + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        return requester_ + 1 + static_cast<NodeId>(z % cfg_.servers);
+    }
+
+    /** True if a fault on @p page can be serviced from network memory. */
+    bool
+    in_global_memory(PageId page) const
+    {
+        return cfg_.warm || evicted_.count(page) > 0;
+    }
+
+    /**
+     * The faulting node evicted @p page; if configured, ship it to
+     * its server as background putpage traffic. After this the page
+     * is in global memory even in cold-cache mode — unless the
+     * server is full, in which case its oldest stored page is
+     * discarded (and will have to come back from disk).
+     */
+    void put_page(Tick now, PageId page, uint32_t page_bytes,
+                  bool dirty);
+
+    NodeId requester() const { return requester_; }
+    const GmsConfig &config() const { return cfg_; }
+    uint64_t putpages() const { return putpages_; }
+
+    /** Pages dropped from global memory due to server capacity. */
+    uint64_t global_discards() const { return discards_; }
+
+    /** Pages currently stored on @p server (cold-cache tracking). */
+    uint64_t
+    stored_on(NodeId server) const
+    {
+        auto it = per_server_.find(server);
+        return it == per_server_.end() ? 0 : it->second.fifo.size();
+    }
+
+  private:
+    /** Per-server store of evicted pages, FIFO for capacity. */
+    struct ServerStore
+    {
+        std::deque<PageId> fifo;
+    };
+
+    Network &net_;
+    GmsConfig cfg_;
+    NodeId requester_;
+    uint64_t putpages_ = 0;
+    uint64_t discards_ = 0;
+    std::unordered_set<PageId> evicted_;
+    std::unordered_map<NodeId, ServerStore> per_server_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_GMS_GMS_H

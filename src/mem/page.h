@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Page and subpage geometry, and per-page subpage valid bits.
+ *
+ * Mirrors the prototype in the paper: a 64-bit valid-bit vector per
+ * page (the Alpha prototype kept 32 bits for 256-byte blocks of an 8K
+ * page; we allow any power-of-two subpage count up to 64).
+ */
+
+#ifndef SGMS_MEM_PAGE_H
+#define SGMS_MEM_PAGE_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace sgms
+{
+
+/** Geometry of the page/subpage split; immutable per simulation. */
+class PageGeometry
+{
+  public:
+    /**
+     * @param page_size    full page size in bytes (power of two)
+     * @param subpage_size subpage size in bytes (power of two,
+     *                     <= page_size). Equal sizes mean "no
+     *                     subpaging" (one subpage per page).
+     */
+    PageGeometry(uint32_t page_size, uint32_t subpage_size)
+        : page_size_(page_size), subpage_size_(subpage_size),
+          page_shift_(log2_exact(page_size)),
+          subpage_shift_(log2_exact(subpage_size)),
+          subpages_per_page_(page_size / subpage_size)
+    {
+        if (!is_pow2(page_size) || !is_pow2(subpage_size))
+            fatal("page geometry: sizes must be powers of two");
+        if (subpage_size > page_size)
+            fatal("page geometry: subpage larger than page");
+        if (subpages_per_page_ > 64)
+            fatal("page geometry: more than 64 subpages per page");
+    }
+
+    uint32_t page_size() const { return page_size_; }
+    uint32_t subpage_size() const { return subpage_size_; }
+    uint32_t subpages_per_page() const { return subpages_per_page_; }
+
+    PageId
+    page_of(Addr addr) const
+    {
+        return addr >> page_shift_;
+    }
+
+    /** Subpage index of @p addr within its page. */
+    SubpageIndex
+    subpage_of(Addr addr) const
+    {
+        return static_cast<SubpageIndex>((addr >> subpage_shift_) &
+                                         (subpages_per_page_ - 1));
+    }
+
+    Addr
+    page_base(PageId page) const
+    {
+        return static_cast<Addr>(page) << page_shift_;
+    }
+
+    /** Byte offset of subpage @p idx within the page. */
+    uint32_t
+    subpage_offset(SubpageIndex idx) const
+    {
+        return idx << subpage_shift_;
+    }
+
+  private:
+    uint32_t page_size_;
+    uint32_t subpage_size_;
+    uint32_t page_shift_;
+    uint32_t subpage_shift_;
+    uint32_t subpages_per_page_;
+};
+
+/** Per-page subpage valid bits (up to 64 subpages). */
+class SubpageBitmap
+{
+  public:
+    SubpageBitmap() = default;
+
+    void
+    set(SubpageIndex idx)
+    {
+        bits_ |= 1ULL << idx;
+    }
+
+    void
+    clear(SubpageIndex idx)
+    {
+        bits_ &= ~(1ULL << idx);
+    }
+
+    bool
+    test(SubpageIndex idx) const
+    {
+        return bits_ & (1ULL << idx);
+    }
+
+    /** Set all @p count subpages valid. */
+    void
+    fill(uint32_t count)
+    {
+        bits_ = count >= 64 ? ~0ULL : (1ULL << count) - 1;
+    }
+
+    void reset() { bits_ = 0; }
+
+    /** True if all of the first @p count subpages are valid. */
+    bool
+    complete(uint32_t count) const
+    {
+        uint64_t mask = count >= 64 ? ~0ULL : (1ULL << count) - 1;
+        return (bits_ & mask) == mask;
+    }
+
+    /** Number of valid subpages. */
+    uint32_t popcount() const { return __builtin_popcountll(bits_); }
+
+    uint64_t raw() const { return bits_; }
+
+  private:
+    uint64_t bits_ = 0;
+};
+
+} // namespace sgms
+
+#endif // SGMS_MEM_PAGE_H

@@ -1,0 +1,180 @@
+#include "mem/replacement.h"
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+LruPolicy::Iter
+LruPolicy::find_iter(PageId page)
+{
+    if (page < DENSE_LIMIT) {
+        SGMS_ASSERT(page < dense_.size() && dense_present_[page]);
+        return dense_[page];
+    }
+    auto it = overflow_.find(page);
+    SGMS_ASSERT(it != overflow_.end());
+    return it->second;
+}
+
+void
+LruPolicy::store_iter(PageId page, Iter it)
+{
+    if (page < DENSE_LIMIT) {
+        if (page >= dense_.size()) {
+            size_t cap = std::max<size_t>(
+                std::max<size_t>(64, page + 1), dense_.size() * 2);
+            cap = std::min<size_t>(cap, DENSE_LIMIT);
+            dense_.resize(cap);
+            dense_present_.resize(cap, 0);
+        }
+        dense_[page] = it;
+        dense_present_[page] = 1;
+    } else {
+        overflow_[page] = it;
+    }
+}
+
+void
+LruPolicy::drop_iter(PageId page)
+{
+    if (page < DENSE_LIMIT) {
+        SGMS_ASSERT(page < dense_.size() && dense_present_[page]);
+        dense_present_[page] = 0;
+    } else {
+        size_t n = overflow_.erase(page);
+        SGMS_ASSERT(n == 1);
+    }
+}
+
+void
+LruPolicy::insert(PageId page)
+{
+    order_.push_front(page);
+    store_iter(page, order_.begin());
+    ++size_;
+}
+
+void
+LruPolicy::touch(PageId page)
+{
+    order_.splice(order_.begin(), order_, find_iter(page));
+}
+
+void
+LruPolicy::erase(PageId page)
+{
+    order_.erase(find_iter(page));
+    drop_iter(page);
+    --size_;
+}
+
+PageId
+LruPolicy::victim()
+{
+    SGMS_ASSERT(!order_.empty());
+    PageId page = order_.back();
+    order_.pop_back();
+    drop_iter(page);
+    --size_;
+    return page;
+}
+
+void
+FifoPolicy::insert(PageId page)
+{
+    SGMS_ASSERT(!map_.count(page));
+    order_.push_back(page);
+    map_[page] = std::prev(order_.end());
+}
+
+void
+FifoPolicy::erase(PageId page)
+{
+    auto it = map_.find(page);
+    SGMS_ASSERT(it != map_.end());
+    order_.erase(it->second);
+    map_.erase(it);
+}
+
+PageId
+FifoPolicy::victim()
+{
+    SGMS_ASSERT(!order_.empty());
+    PageId page = order_.front();
+    order_.pop_front();
+    map_.erase(page);
+    return page;
+}
+
+void
+ClockPolicy::insert(PageId page)
+{
+    SGMS_ASSERT(!map_.count(page));
+    // Reuse a dead slot if the ring has one at the hand; otherwise
+    // grow. Growth keeps this simple; rings stay small (resident set).
+    for (size_t probe = 0; probe < ring_.size(); ++probe) {
+        size_t i = (hand_ + probe) % ring_.size();
+        if (!ring_[i].valid) {
+            ring_[i] = {page, true, true};
+            map_[page] = i;
+            ++live_;
+            return;
+        }
+    }
+    map_[page] = ring_.size();
+    ring_.push_back({page, true, true});
+    ++live_;
+}
+
+void
+ClockPolicy::touch(PageId page)
+{
+    auto it = map_.find(page);
+    SGMS_ASSERT(it != map_.end());
+    ring_[it->second].referenced = true;
+}
+
+void
+ClockPolicy::erase(PageId page)
+{
+    auto it = map_.find(page);
+    SGMS_ASSERT(it != map_.end());
+    ring_[it->second].valid = false;
+    map_.erase(it);
+    --live_;
+}
+
+PageId
+ClockPolicy::victim()
+{
+    SGMS_ASSERT(live_ > 0);
+    for (;;) {
+        Entry &e = ring_[hand_];
+        hand_ = (hand_ + 1) % ring_.size();
+        if (!e.valid)
+            continue;
+        if (e.referenced) {
+            e.referenced = false;
+            continue;
+        }
+        e.valid = false;
+        map_.erase(e.page);
+        --live_;
+        return e.page;
+    }
+}
+
+std::unique_ptr<ReplacementPolicy>
+make_replacement_policy(const std::string &name)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>();
+    if (name == "fifo")
+        return std::make_unique<FifoPolicy>();
+    if (name == "clock")
+        return std::make_unique<ClockPolicy>();
+    fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+} // namespace sgms

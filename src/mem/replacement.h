@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Pluggable page replacement policies for the resident set.
+ *
+ * The paper's simulator uses "a configurable memory management
+ * module; an LRU policy is used by default". LRU is the default here
+ * too; FIFO and Clock are provided for the replacement ablation.
+ */
+
+#ifndef SGMS_MEM_REPLACEMENT_H
+#define SGMS_MEM_REPLACEMENT_H
+
+#include <algorithm>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgms
+{
+
+/** Interface for page replacement policies. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** A page became resident. */
+    virtual void insert(PageId page) = 0;
+
+    /** A resident page was referenced. */
+    virtual void touch(PageId page) = 0;
+
+    /** A page was explicitly removed (not via victim()). */
+    virtual void erase(PageId page) = 0;
+
+    /** Choose and remove the replacement victim. */
+    virtual PageId victim() = 0;
+
+    /** Number of tracked pages. */
+    virtual size_t size() const = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/**
+ * Exact LRU via intrusive list. Iterators for small page ids live in
+ * a flat array (one lookup per simulated reference makes this hot);
+ * large ids fall back to a hash map.
+ */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void insert(PageId page) override;
+    void touch(PageId page) override;
+    void erase(PageId page) override;
+    PageId victim() override;
+    size_t size() const override { return size_; }
+    const char *name() const override { return "lru"; }
+
+  private:
+    using Iter = std::list<PageId>::iterator;
+    static constexpr PageId DENSE_LIMIT = 1ULL << 17;
+
+    Iter find_iter(PageId page);
+    void store_iter(PageId page, Iter it);
+    void drop_iter(PageId page);
+
+    std::list<PageId> order_; // front = most recent
+    std::vector<Iter> dense_;
+    std::vector<uint8_t> dense_present_;
+    std::unordered_map<PageId, Iter> overflow_;
+    size_t size_ = 0;
+};
+
+/** FIFO: evict in arrival order; references don't matter. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    void insert(PageId page) override;
+    void touch(PageId /* page */) override {}
+    void erase(PageId page) override;
+    PageId victim() override;
+    size_t size() const override { return map_.size(); }
+    const char *name() const override { return "fifo"; }
+
+  private:
+    std::list<PageId> order_; // front = oldest
+    std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+};
+
+/** Second-chance Clock. */
+class ClockPolicy : public ReplacementPolicy
+{
+  public:
+    void insert(PageId page) override;
+    void touch(PageId page) override;
+    void erase(PageId page) override;
+    PageId victim() override;
+    size_t size() const override { return map_.size(); }
+    const char *name() const override { return "clock"; }
+
+  private:
+    struct Entry
+    {
+        PageId page;
+        bool referenced;
+        bool valid;
+    };
+
+    std::vector<Entry> ring_;
+    size_t hand_ = 0;
+    size_t live_ = 0;
+    std::unordered_map<PageId, size_t> map_;
+};
+
+/** Factory: "lru", "fifo", or "clock". */
+std::unique_ptr<ReplacementPolicy>
+make_replacement_policy(const std::string &name);
+
+} // namespace sgms
+
+#endif // SGMS_MEM_REPLACEMENT_H

@@ -1,0 +1,65 @@
+#include "mem/tlb.h"
+
+#include <cstddef>
+
+namespace sgms
+{
+
+Tlb::Tlb(uint32_t entries, uint32_t associativity, uint32_t page_size)
+    : entries_(entries), assoc_(associativity),
+      sets_(entries / associativity), page_size_(page_size),
+      page_shift_(log2_exact(page_size))
+{
+    if (!is_pow2(entries) || !is_pow2(associativity) ||
+        !is_pow2(page_size)) {
+        fatal("tlb: entries, associativity and page size must be "
+              "powers of two");
+    }
+    if (associativity > entries)
+        fatal("tlb: associativity exceeds entry count");
+    ways_.resize(static_cast<size_t>(sets_) * assoc_);
+}
+
+bool
+Tlb::access(Addr addr)
+{
+    uint64_t vpn = addr >> page_shift_;
+    uint32_t set = sets_ > 1 ? vpn & (sets_ - 1) : 0;
+    Way *base = &ways_[static_cast<size_t>(set) * assoc_];
+    ++tick_;
+
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.vpn == vpn) {
+            way.lru = tick_;
+            ++stats_.hits;
+            return true;
+        }
+    }
+
+    // Miss: fill into an invalid way if any, else the LRU way.
+    Way *victim = nullptr;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (!victim || way.lru < victim->lru)
+            victim = &way;
+    }
+    ++stats_.misses;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lru = tick_;
+    return false;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &w : ways_)
+        w.valid = false;
+}
+
+} // namespace sgms

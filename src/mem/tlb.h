@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Set-associative TLB model.
+ *
+ * Used for the small-pages-vs-subpages comparison (paper section
+ * 2.1): shrinking the page size multiplies the number of translations
+ * a fixed-size TLB must cover, raising the miss rate. Subpages keep
+ * full-page translations, so they do not pay this cost.
+ */
+
+#ifndef SGMS_MEM_TLB_H
+#define SGMS_MEM_TLB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace sgms
+{
+
+/** TLB statistics. */
+struct TlbStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    uint64_t accesses() const { return hits + misses; }
+
+    double
+    miss_rate() const
+    {
+        return accesses() ? static_cast<double>(misses) / accesses()
+                          : 0.0;
+    }
+};
+
+/** LRU set-associative TLB keyed by virtual page number. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries       total entries (power of two)
+     * @param associativity ways per set (power of two, <= entries)
+     * @param page_size     translation granularity in bytes
+     */
+    Tlb(uint32_t entries, uint32_t associativity, uint32_t page_size);
+
+    /**
+     * Look up the translation for @p addr, updating LRU state and
+     * filling on miss. Returns true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Drop every entry (context switch / page-size change). */
+    void flush();
+
+    const TlbStats &stats() const { return stats_; }
+
+    uint32_t entries() const { return entries_; }
+    uint32_t page_size() const { return page_size_; }
+
+    /** Total address space one fill covers: entries * page_size. */
+    uint64_t
+    coverage() const
+    {
+        return static_cast<uint64_t>(entries_) * page_size_;
+    }
+
+  private:
+    struct Way
+    {
+        uint64_t vpn = ~0ULL;
+        uint64_t lru = 0; // higher = more recent
+        bool valid = false;
+    };
+
+    uint32_t entries_;
+    uint32_t assoc_;
+    uint32_t sets_;
+    uint32_t page_size_;
+    uint32_t page_shift_;
+    uint64_t tick_ = 0;
+    std::vector<Way> ways_; // sets_ x assoc_, row-major
+    TlbStats stats_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_MEM_TLB_H

@@ -1,0 +1,168 @@
+#include "net/network.h"
+
+namespace sgms
+{
+
+StageResource &
+Network::cpu(NodeId node)
+{
+    auto &slot = cpus_[node];
+    if (!slot) {
+        Component comp = node == requester_ ? Component::ReqCpu
+                                            : Component::SrvCpu;
+        slot = std::make_unique<StageResource>(
+            eq_, comp, node, recorder_, params_.preemptive_demand);
+    }
+    return *slot;
+}
+
+StageResource &
+Network::dma(NodeId node)
+{
+    auto &slot = dmas_[node];
+    if (!slot) {
+        Component comp = node == requester_ ? Component::ReqDma
+                                            : Component::SrvDma;
+        slot = std::make_unique<StageResource>(
+            eq_, comp, node, recorder_, params_.preemptive_demand);
+    }
+    return *slot;
+}
+
+StageResource &
+Network::wire_to(NodeId node)
+{
+    auto &slot = wires_[node];
+    if (!slot) {
+        slot = std::make_unique<StageResource>(
+            eq_, Component::Wire, node, recorder_,
+            params_.preemptive_demand);
+    }
+    return *slot;
+}
+
+int
+Network::priority_of(MsgKind kind) const
+{
+    if (!params_.priority_scheduling)
+        return 0;
+    switch (kind) {
+      case MsgKind::Request:
+        return 3;
+      case MsgKind::DemandData:
+        return 2;
+      case MsgKind::PutPage:
+        return 1;
+      case MsgKind::BackgroundData:
+        return 0;
+    }
+    return 0;
+}
+
+Tick
+Network::recv_cpu_cost(const SendArgs &args) const
+{
+    switch (args.kind) {
+      case MsgKind::Request:
+        return params_.request_proc;
+      case MsgKind::DemandData:
+        return params_.recv_fixed + params_.recv_per_byte * args.bytes;
+      case MsgKind::BackgroundData:
+        if (args.pipelined_recv) {
+            return params_.pipelined_recv_fixed +
+                   params_.pipelined_recv_per_byte * args.bytes;
+        }
+        return params_.recv_fixed + params_.recv_per_byte * args.bytes;
+      case MsgKind::PutPage:
+        return params_.recv_fixed + params_.recv_per_byte * args.bytes;
+    }
+    return 0;
+}
+
+namespace
+{
+
+/** Per-message in-flight state; owned by the stage callbacks. */
+struct MsgState
+{
+    uint64_t id;
+    MsgKind kind;
+    int prio;
+    NodeId src;
+    NodeId dst;
+    /** Occupancy of the five stages, in pipeline order. */
+    Tick cost[5];
+    Tick recv_cost;
+    std::function<void(Tick delivered, Tick recv_cpu_cost)> delivered;
+};
+
+} // namespace
+
+/**
+ * Submit stage @p stage of message @p m at time @p now; the stage's
+ * completion submits the next one.
+ */
+void
+Network::run_stage(std::shared_ptr<void> opaque, int stage, Tick now)
+{
+    auto m = std::static_pointer_cast<MsgState>(opaque);
+    StageResource *res = nullptr;
+    switch (stage) {
+      case 0:
+        res = &cpu(m->src);
+        break;
+      case 1:
+        res = &dma(m->src);
+        break;
+      case 2:
+        res = &wire_to(m->dst);
+        break;
+      case 3:
+        res = &dma(m->dst);
+        break;
+      case 4:
+        res = &cpu(m->dst);
+        break;
+      default:
+        panic("bad network stage %d", stage);
+    }
+    res->submit(now, m->cost[stage], m->prio, m->id, m->kind,
+                [this, m, stage](Tick, Tick end) {
+                    if (stage == 4) {
+                        if (m->delivered)
+                            m->delivered(end, m->recv_cost);
+                    } else {
+                        run_stage(m, stage + 1, end);
+                    }
+                });
+}
+
+uint64_t
+Network::send(Tick now, SendArgs args)
+{
+    uint64_t id = next_msg_id_++;
+    ++stats_.messages;
+    stats_.bytes += args.bytes;
+    ++stats_.messages_by_kind[static_cast<int>(args.kind)];
+    stats_.bytes_by_kind[static_cast<int>(args.kind)] += args.bytes;
+
+    auto m = std::make_shared<MsgState>();
+    m->id = id;
+    m->kind = args.kind;
+    m->prio = priority_of(args.kind);
+    m->src = args.src;
+    m->dst = args.dst;
+    m->cost[0] = args.kind == MsgKind::Request ? params_.send_cpu_request
+                                               : params_.send_cpu_data;
+    m->cost[1] = params_.dma_fixed + params_.dma_per_byte * args.bytes;
+    m->cost[2] = params_.wire_fixed + params_.wire_per_byte * args.bytes;
+    m->cost[3] = params_.dma_fixed + params_.dma_per_byte * args.bytes;
+    m->recv_cost = recv_cpu_cost(args);
+    m->cost[4] = m->recv_cost;
+    m->delivered = std::move(args.on_delivered);
+
+    run_stage(m, 0, now);
+    return id;
+}
+
+} // namespace sgms

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The staged network model.
+ *
+ * A message from node S to node D passes through five serially-owned
+ * resources: CPU(S) -> DMA(S) -> Wire(D's inbound link) -> DMA(D) ->
+ * CPU(D). Each message occupies each stage store-and-forward, while
+ * different messages overlap across stages; that reproduces both the
+ * paper's Figure 2 pipelining and its "sender pipelining" effect
+ * (two 4K messages complete before one 8K message).
+ */
+
+#ifndef SGMS_NET_NETWORK_H
+#define SGMS_NET_NETWORK_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/types.h"
+#include "net/params.h"
+#include "net/resource.h"
+#include "net/timeline.h"
+#include "sim/event_queue.h"
+
+namespace sgms
+{
+
+/** Aggregate traffic statistics kept by the network. */
+struct NetStats
+{
+    uint64_t messages = 0;
+    uint64_t bytes = 0;
+    uint64_t messages_by_kind[4] = {0, 0, 0, 0};
+    uint64_t bytes_by_kind[4] = {0, 0, 0, 0};
+};
+
+/** Cluster interconnect plus per-node CPU/DMA contention model. */
+class Network
+{
+  public:
+    /** Parameters of one message injection. */
+    struct SendArgs
+    {
+        NodeId src;
+        NodeId dst;
+        uint32_t bytes;
+        MsgKind kind;
+        /** Use the intelligent-controller receive cost. */
+        bool pipelined_recv = false;
+        /**
+         * Called at delivery (end of the receive-CPU stage).
+         * @p recv_cpu_cost is the receiver CPU time the message
+         * consumed, which the simulator may charge to the program.
+         */
+        std::function<void(Tick delivered, Tick recv_cpu_cost)>
+            on_delivered;
+    };
+
+    /**
+     * @param eq        shared event queue
+     * @param params    latency parameters
+     * @param requester node the traced program runs on (used only to
+     *                  label components in timeline capture)
+     * @param recorder  optional Figure-2 timeline capture
+     */
+    Network(EventQueue &eq, NetParams params, NodeId requester = 0,
+            TimelineRecorder *recorder = nullptr)
+        : eq_(eq), params_(params), requester_(requester),
+          recorder_(recorder)
+    {}
+
+    /** Inject a message at simulated time @p now; returns its id. */
+    uint64_t send(Tick now, SendArgs args);
+
+    const NetParams &params() const { return params_; }
+    const NetStats &stats() const { return stats_; }
+
+    /** Per-node CPU resource (lazily created). */
+    StageResource &cpu(NodeId node);
+    /** Per-node DMA engine resource (lazily created). */
+    StageResource &dma(NodeId node);
+    /** Inbound wire link of @p node (lazily created). */
+    StageResource &wire_to(NodeId node);
+
+  private:
+    int priority_of(MsgKind kind) const;
+    Tick recv_cpu_cost(const SendArgs &args) const;
+    void run_stage(std::shared_ptr<void> msg, int stage, Tick now);
+
+    EventQueue &eq_;
+    NetParams params_;
+    NodeId requester_;
+    TimelineRecorder *recorder_;
+    NetStats stats_;
+    uint64_t next_msg_id_ = 1;
+
+    std::map<NodeId, std::unique_ptr<StageResource>> cpus_;
+    std::map<NodeId, std::unique_ptr<StageResource>> dmas_;
+    std::map<NodeId, std::unique_ptr<StageResource>> wires_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_NET_NETWORK_H

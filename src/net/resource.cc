@@ -1,0 +1,78 @@
+#include "net/resource.h"
+
+namespace sgms
+{
+
+void
+StageResource::submit(Tick now, Tick duration, int priority,
+                      uint64_t msg_id, MsgKind kind, Done done)
+{
+    Item item{duration, priority, seq_++, msg_id, kind,
+              std::move(done)};
+
+    if (busy_ && preemption_ && priority > cur_prio_ &&
+        preemptible(cur_kind_)) {
+        // Preempt the in-flight background item: requeue its
+        // remaining occupancy (keeping its original arrival order
+        // within its priority level) and start the demand item. This
+        // models ATM cell interleaving: a small demand transfer's
+        // cells pass a large background transfer in progress.
+        Tick remaining = busy_until_ - now;
+        SGMS_ASSERT(remaining >= 0); // callers submit at current time
+        total_busy_ -= remaining; // will be re-added when it resumes
+        ++generation_;            // orphan the scheduled completion
+        queue_.push(Item{remaining, cur_prio_, cur_seq_, cur_msg_id_,
+                         cur_kind_, std::move(cur_done_)});
+        busy_ = false;
+    }
+
+    if (busy_) {
+        queue_.push(std::move(item));
+        return;
+    }
+    start(now, std::move(item));
+}
+
+bool
+StageResource::preemptible(MsgKind kind)
+{
+    return kind == MsgKind::BackgroundData || kind == MsgKind::PutPage;
+}
+
+void
+StageResource::start(Tick now, Item item)
+{
+    busy_ = true;
+    Tick end = now + item.duration;
+    busy_until_ = end;
+    cur_prio_ = item.priority;
+    cur_kind_ = item.kind;
+    cur_seq_ = item.seq;
+    cur_msg_id_ = item.msg_id;
+    cur_done_ = std::move(item.done);
+    total_busy_ += item.duration;
+
+    uint64_t gen = generation_;
+    Tick duration = item.duration;
+    eq_.schedule(end, [this, gen, end, duration]() {
+        if (gen != generation_)
+            return; // this occupancy was preempted; ignore
+        busy_ = false;
+        ++completed_;
+        if (recorder_ && duration > 0) {
+            recorder_->record(comp_, node_, cur_msg_id_, cur_kind_,
+                              end - duration, end);
+        }
+        Done done = std::move(cur_done_);
+        done(end - duration, end);
+        // The completion callback may have submitted new work and
+        // restarted the stage; only pull from the queue if still idle.
+        if (!busy_ && !queue_.empty()) {
+            Item next = std::move(const_cast<Item &>(queue_.top()));
+            queue_.pop();
+            this->start(end, std::move(next));
+        }
+    });
+}
+
+} // namespace sgms

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A serially-occupied pipeline stage (CPU, DMA engine, or wire link).
+ *
+ * Work items queue at the stage and are served one at a time; among
+ * queued items, higher priority wins (FIFO within a priority level).
+ * This is what produces both congestion delay and the cross-message
+ * pipelining that the paper's Figure 2 shows: message 2's server DMA
+ * runs while message 1 occupies the wire, because they are different
+ * resources.
+ */
+
+#ifndef SGMS_NET_RESOURCE_H
+#define SGMS_NET_RESOURCE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+#include "net/params.h"
+#include "net/timeline.h"
+#include "sim/event_queue.h"
+
+namespace sgms
+{
+
+/** One pipeline stage; serves queued work items in priority order. */
+class StageResource
+{
+  public:
+    /** Called when the item's occupancy [start, end) completes. */
+    using Done = std::function<void(Tick start, Tick end)>;
+
+    /**
+     * @param preemption when true, a higher-priority submission
+     *        preempts an in-flight background/putpage occupancy
+     *        (ATM-cell-interleaving approximation); the preempted
+     *        remainder is requeued.
+     */
+    StageResource(EventQueue &eq, Component comp, NodeId node,
+                  TimelineRecorder *recorder, bool preemption = false)
+        : eq_(eq), comp_(comp), node_(node), recorder_(recorder),
+          preemption_(preemption)
+    {}
+
+    /**
+     * Submit a work item at simulated time @p now. If the stage is
+     * idle it begins immediately; otherwise it queues.
+     *
+     * @param now      current simulated time
+     * @param duration stage occupancy for this item
+     * @param priority larger values served first among queued items
+     * @param msg_id   message id for timeline capture
+     * @param kind     message kind for timeline capture
+     * @param done     completion callback
+     */
+    void submit(Tick now, Tick duration, int priority, uint64_t msg_id,
+                MsgKind kind, Done done);
+
+    /** True if currently serving an item. */
+    bool busy() const { return busy_; }
+
+    /** Time the current item completes (valid only when busy). */
+    Tick busy_until() const { return busy_until_; }
+
+    /** Items served to completion so far. */
+    uint64_t completed() const { return completed_; }
+
+    /** Total occupancy ticks accumulated across served items. */
+    Tick total_busy() const { return total_busy_; }
+
+  private:
+    struct Item
+    {
+        Tick duration;
+        int priority;
+        uint64_t seq;
+        uint64_t msg_id;
+        MsgKind kind;
+        Done done;
+    };
+
+    struct ItemLess
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            // priority_queue: "less" means a served after b.
+            if (a.priority != b.priority)
+                return a.priority < b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    void start(Tick now, Item item);
+
+    /** Kinds that may be preempted by higher-priority traffic. */
+    static bool preemptible(MsgKind kind);
+
+    EventQueue &eq_;
+    Component comp_;
+    NodeId node_;
+    TimelineRecorder *recorder_;
+    bool preemption_;
+
+    bool busy_ = false;
+    Tick busy_until_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t completed_ = 0;
+    Tick total_busy_ = 0;
+    uint64_t generation_ = 0;
+
+    // The in-flight item (valid while busy_).
+    int cur_prio_ = 0;
+    MsgKind cur_kind_ = MsgKind::Request;
+    uint64_t cur_seq_ = 0;
+    uint64_t cur_msg_id_ = 0;
+    Done cur_done_;
+
+    std::priority_queue<Item, std::vector<Item>, ItemLess> queue_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_NET_RESOURCE_H

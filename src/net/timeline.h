@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Capture of per-component busy intervals for Figure 2 timelines.
+ */
+
+#ifndef SGMS_NET_TIMELINE_H
+#define SGMS_NET_TIMELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/params.h"
+
+namespace sgms
+{
+
+/** One busy interval of one component, attributed to a message. */
+struct TimelineEntry
+{
+    Component comp;
+    NodeId node;
+    uint64_t msg_id;
+    MsgKind kind;
+    Tick start;
+    Tick end;
+};
+
+/** Collects TimelineEntry records when attached to a Network. */
+class TimelineRecorder
+{
+  public:
+    void
+    record(Component comp, NodeId node, uint64_t msg_id, MsgKind kind,
+           Tick start, Tick end)
+    {
+        entries_.push_back({comp, node, msg_id, kind, start, end});
+    }
+
+    const std::vector<TimelineEntry> &entries() const { return entries_; }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::vector<TimelineEntry> entries_;
+};
+
+} // namespace sgms
+
+#endif // SGMS_NET_TIMELINE_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event kernel for the SGMS simulator.
+ *
+ * The trace-driven program is the "main thread" of the simulation; it
+ * advances its own clock reference-by-reference and drains this queue
+ * whenever simulated time passes an event, or whenever it blocks
+ * waiting for a transfer (see core/simulator.h). Everything
+ * asynchronous — DMA stage completions, wire occupancy, message
+ * deliveries — is an event.
+ */
+
+#ifndef SGMS_SIM_EVENT_QUEUE_H
+#define SGMS_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace sgms
+{
+
+/** Time-ordered event queue with FIFO tie-breaking. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p fn to run at absolute time @p when. */
+    void
+    schedule(Tick when, Callback fn)
+    {
+        SGMS_ASSERT(when >= last_popped_);
+        heap_.push(Entry{when, seq_++, std::move(fn)});
+    }
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return heap_.size(); }
+
+    /** Time of the next event, or TICK_MAX if none. */
+    Tick
+    next_time() const
+    {
+        return heap_.empty() ? TICK_MAX : heap_.top().when;
+    }
+
+    /**
+     * Pop and run the next event; returns its time.
+     * Must not be called on an empty queue.
+     */
+    Tick
+    run_one()
+    {
+        SGMS_ASSERT(!heap_.empty());
+        // Move out the entry before running: callbacks may schedule.
+        Entry e = heap_.top();
+        heap_.pop();
+        last_popped_ = e.when;
+        e.fn();
+        return e.when;
+    }
+
+    /** Run all events with time <= @p now. */
+    void
+    run_until(Tick now)
+    {
+        while (!heap_.empty() && heap_.top().when <= now)
+            run_one();
+    }
+
+    /** Drain every pending event; returns time of the last one run. */
+    Tick
+    run_all()
+    {
+        Tick last = last_popped_;
+        while (!heap_.empty())
+            last = run_one();
+        return last;
+    }
+
+    /** Total events executed (for stats / debugging). */
+    uint64_t executed() const { return seq_ - heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    uint64_t seq_ = 0;
+    Tick last_popped_ = 0;
+};
+
+} // namespace sgms
+
+#endif // SGMS_SIM_EVENT_QUEUE_H

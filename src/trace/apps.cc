@@ -1,0 +1,481 @@
+#include "trace/apps.h"
+
+#include <algorithm>
+#include <tuple>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+namespace
+{
+
+/** Scale a page count, keeping at least a couple of pages. */
+uint64_t
+spages(double pages, double scale)
+{
+    return std::max<uint64_t>(2, std::llround(pages * scale));
+}
+
+/** Scale a reference count. */
+uint64_t
+srefs(double refs, double scale)
+{
+    return std::max<uint64_t>(16, std::llround(refs * scale));
+}
+
+/**
+ * Page range of chunk @p i of @p n over [lo, lo+total). Guaranteed
+ * non-empty even when total < n (chunks then overlap, which just
+ * means extra revisits at tiny scales).
+ */
+std::pair<uint64_t, uint64_t>
+chunk(uint64_t lo, uint64_t total, int i, int n)
+{
+    uint64_t a = lo + static_cast<uint64_t>(i) * total / n;
+    uint64_t b = lo + static_cast<uint64_t>(i + 1) * total / n;
+    if (b <= a)
+        b = a + 1;
+    return {a, b};
+}
+
+/**
+ * One sweep pass over [lo, hi): each page is visited once per pass,
+ * spending ~@p gap references per visit (the visit's pattern touches
+ * plus its record tail, interleaved with hot compute). The gap sets
+ * the inter-fault spacing during the pass's fault burst, and with it
+ * how much of the rest-of-page transfers overlap waiting on other
+ * faults (I/O overlap) versus execution (computational overlap) —
+ * the paper's 53-83% split.
+ */
+PhaseSpec
+sweep_pass(uint64_t lo, uint64_t hi, uint32_t pass, double gap,
+           uint32_t touches = 1)
+{
+    PhaseSpec ph;
+    ph.kind = PhaseSpec::Kind::SweepScan;
+    ph.page_lo = lo;
+    ph.page_hi = hi;
+    ph.sweep_pass = pass;
+    ph.sweep_touches = touches;
+    // Jitter across the whole pass window plus a short record tail:
+    // the tail crosses a subpage boundary with probability
+    // record/subpage, the spatial penalty that grows as subpages
+    // shrink (paper section 4.1).
+    ph.sweep_jitter = 1016;
+    ph.sweep_record_bytes = 160;
+    double per_visit = touches + 1.0; // touches + record tail
+    gap = std::max(gap, per_visit);
+    ph.hot_frac = 1.0 - per_visit / gap;
+    ph.refs = static_cast<uint64_t>((hi - lo) * gap);
+    return ph;
+}
+
+} // namespace
+
+/*
+ * Modula-3 compile of smalldb: 87M refs, 773 faults at full memory
+ * rising to 5655 at 1/4. Modelled as 16 compilation units. Each unit
+ * sweeps the shared front-end structures (S1), loads its own fresh
+ * pages (U), and computes over a sliding window; every fourth unit
+ * densely re-reads the larger shared back-end region (S2). S1 sweeps
+ * thrash only at 1/4 memory; S2 re-reads thrash at 1/2 as well.
+ */
+WorkloadSpec
+make_modula3_spec(double scale)
+{
+    WorkloadSpec w;
+    w.name = "modula3";
+    w.hot_pages = spages(100, scale);
+
+    uint64_t s1_lo = w.hot_pages;
+    uint64_t s1_hi = s1_lo + spages(190, scale);
+    uint64_t s2_lo = s1_hi;
+    uint64_t s2_hi = s2_lo + spages(260, scale);
+    uint64_t u_lo = s2_hi;
+    uint64_t u_pages = spages(256, scale);
+    const int units = 16;
+
+    uint64_t compute_refs = srefs(87e6, scale); // trimmed below
+    uint64_t scan_refs = 0;
+
+    std::vector<PhaseSpec> phases;
+    for (int i = 0; i < units; ++i) {
+        // Shared front-end sweep: one touch per S1 page, offset
+        // advancing one subpage per unit, ~20k references of compute
+        // between page visits (faults 0.24 ms apart during the pass).
+        PhaseSpec sweep = sweep_pass(s1_lo, s1_hi, i, 20e3);
+        scan_refs += sweep.refs;
+        phases.push_back(sweep);
+
+        // This unit's fresh pages: two interleaved passes, one touch
+        // per page per pass (parse then analyse), so the fresh-page
+        // fault bursts overlap their rest-of-page transfers too.
+        auto [u_chunk_lo, u_chunk_hi] = chunk(u_lo, u_pages, i, units);
+        for (uint32_t pass = 0; pass < 2; ++pass) {
+            PhaseSpec unit =
+                sweep_pass(u_chunk_lo, u_chunk_hi, pass, 5e3);
+            scan_refs += unit.refs;
+            phases.push_back(unit);
+        }
+
+        // Back-end re-read every fourth unit: twice as a dense scan
+        // that consumes whole pages (the worst-case, rest-of-page-
+        // blocking faults of Figure 5) and twice as a sweep.
+        if (i % 4 == 3) {
+            if (i == 3) {
+                // One true dense re-read: full-page consumers whose
+                // faults block until the rest of the page arrives no
+                // matter what (Figure 5's worst-case segment).
+                PhaseSpec dense;
+                dense.kind = PhaseSpec::Kind::DenseScan;
+                dense.page_lo = s2_lo;
+                dense.page_hi = s2_hi;
+                dense.stride = 64;
+                dense.hot_frac = 0.95;
+                dense.refs = srefs(
+                    (s2_hi - s2_lo) * (8192.0 / 64) / 0.05, 1.0);
+                scan_refs += dense.refs;
+                phases.push_back(dense);
+            } else {
+                // Re-reads touching 1-2 consecutive subpages per
+                // page: the 2-touch passes block on the +1 neighbour
+                // (helped by pipelining, not by eager fetch).
+                uint32_t touches = i == 15 ? 1 : 2;
+                PhaseSpec s2s =
+                    sweep_pass(s2_lo, s2_hi, i / 4, 8e3, touches);
+                scan_refs += s2s.refs;
+                phases.push_back(s2s);
+            }
+        }
+
+        // Compute over a sliding 60-page window of S1 (small enough
+        // to stay resident even in the 1/4-mem configuration).
+        PhaseSpec comp;
+        comp.kind = PhaseSpec::Kind::Compute;
+        uint64_t win = spages(60, scale);
+        uint64_t s1_span = s1_hi - s1_lo;
+        uint64_t base =
+            s1_lo + (i * spages(20, scale)) %
+                        std::max<uint64_t>(1, s1_span > win
+                                                  ? s1_span - win
+                                                  : 1);
+        comp.page_lo = base;
+        comp.page_hi = std::min(base + win, s1_hi);
+        comp.zipf_skew = 0.6;
+        comp.hot_frac = 0.6;
+        comp.refs = 0; // filled below
+        phases.push_back(comp);
+    }
+
+    // Distribute the remaining references over the compute phases.
+    uint64_t fill = compute_refs > scan_refs
+                        ? (compute_refs - scan_refs) / units
+                        : srefs(1e5, scale);
+    for (auto &ph : phases)
+        if (ph.kind == PhaseSpec::Kind::Compute && ph.refs == 0)
+            ph.refs = fill;
+
+    w.phases = std::move(phases);
+    return w;
+}
+
+/*
+ * ld linking Digital Unix: 102M refs, 6807 faults at full memory
+ * (huge streamed footprint) rising only 1.56x to 10629 at 1/4.
+ * Modelled as a dense single-pass stream over the input objects,
+ * sparse writes to the output image, and two re-reads of a large
+ * symbol region that only thrashes in the 1/4 configuration.
+ */
+WorkloadSpec
+make_ld_spec(double scale)
+{
+    WorkloadSpec w;
+    w.name = "ld";
+    w.hot_pages = spages(100, scale);
+
+    uint64_t sym_lo = w.hot_pages;
+    uint64_t sym_hi = sym_lo + spages(1800, scale);
+    uint64_t in_lo = sym_hi;
+    uint64_t in_hi = in_lo + spages(4200, scale);
+    uint64_t out_lo = in_hi;
+    uint64_t out_hi = out_lo + spages(707, scale);
+    const int chunks = 20;
+
+    std::vector<PhaseSpec> phases;
+    uint64_t scan_refs = 0;
+    for (int i = 0; i < chunks; ++i) {
+        // Stream a chunk of the input objects, densely.
+        PhaseSpec in;
+        in.kind = PhaseSpec::Kind::DenseScan;
+        std::tie(in.page_lo, in.page_hi) =
+            chunk(in_lo, in_hi - in_lo, i, chunks);
+        in.stride = 64;
+        in.hot_frac = 0.75;
+        in.write_frac = 0.1;
+        in.refs = srefs((in.page_hi - in.page_lo) * 128 / 0.25, 1.0);
+        scan_refs += in.refs;
+        phases.push_back(in);
+
+        // Emit a chunk of the output image.
+        PhaseSpec out;
+        out.kind = PhaseSpec::Kind::SparseScan;
+        std::tie(out.page_lo, out.page_hi) =
+            chunk(out_lo, out_hi - out_lo, i, chunks);
+        out.touches_per_page = 8;
+        out.hot_frac = 0.5;
+        out.write_frac = 0.9;
+        out.refs =
+            srefs((out.page_hi - out.page_lo) * 8 / 0.5, 1.0);
+        scan_refs += out.refs;
+        phases.push_back(out);
+
+        // Symbol-table sweeps: first pass early, re-read passes
+        // mid-run and late (the re-reads are the 1/4-mem thrash).
+        if (i == 0 || i == 9 || i == 16) {
+            PhaseSpec sym = sweep_pass(sym_lo, sym_hi,
+                                       i == 0 ? 0 : (i == 9 ? 1 : 2),
+                                       8e3);
+            scan_refs += sym.refs;
+            phases.push_back(sym);
+        }
+
+        // Hot compute between chunks (symbol resolution CPU work).
+        PhaseSpec comp;
+        comp.kind = PhaseSpec::Kind::Compute;
+        comp.page_lo = comp.page_hi = 0; // hot region only
+        comp.refs = 0;
+        phases.push_back(comp);
+    }
+
+    uint64_t total = srefs(102e6, scale);
+    uint64_t fill =
+        total > scan_refs ? (total - scan_refs) / chunks
+                          : srefs(1e5, scale);
+    for (auto &ph : phases)
+        if (ph.kind == PhaseSpec::Kind::Compute)
+            ph.refs = fill;
+
+    w.phases = std::move(phases);
+    return w;
+}
+
+/*
+ * ATOM instrumenting gzip: 73M refs, 1175 -> 5275 faults. The paper
+ * singles ATOM out for its *smooth* fault accumulation (Figure 10):
+ * no big bursts, faults spread evenly. Modelled as many small
+ * alternating sweep passes over two regions (R1 thrashes only at
+ * 1/4 memory, R2 at 1/2 as well) with compute interleaved.
+ */
+WorkloadSpec
+make_atom_spec(double scale)
+{
+    WorkloadSpec w;
+    w.name = "atom";
+    w.hot_pages = spages(75, scale);
+
+    uint64_t r1_lo = w.hot_pages;
+    uint64_t r1_hi = r1_lo + spages(400, scale);
+    uint64_t r2_lo = r1_hi;
+    uint64_t r2_hi = r2_lo + spages(700, scale);
+
+    std::vector<PhaseSpec> phases;
+    uint64_t scan_refs = 0;
+    const int rounds = 14;
+    int r1_pass = 0, r2_pass = 0;
+    for (int i = 0; i < rounds; ++i) {
+        // Sweeps with wide inter-visit gaps: ATOM's faults come
+        // steadily rather than in bursts, so each fault is far from
+        // the next and relatively more of its rest-of-page transfer
+        // overlaps execution (lowest I/O-overlap share: 53%).
+        if (i % 2 == 0) {
+            PhaseSpec r1 = sweep_pass(r1_lo, r1_hi, r1_pass++, 12e3);
+            scan_refs += r1.refs;
+            phases.push_back(r1);
+        }
+
+        if (i == 4 || i == 11) {
+            // R2 visits touch 3 consecutive subpages: these faults
+            // block on their neighbours, which is why ATOM gets the
+            // least benefit from eager fetch and relatively more
+            // from pipelining.
+            PhaseSpec r2 =
+                sweep_pass(r2_lo, r2_hi, r2_pass++, 8e3, 3);
+            scan_refs += r2.refs;
+            phases.push_back(r2);
+        }
+
+        PhaseSpec comp;
+        comp.kind = PhaseSpec::Kind::Compute;
+        comp.page_lo = comp.page_hi = 0;
+        comp.refs = 0;
+        phases.push_back(comp);
+    }
+
+    uint64_t total = srefs(73e6, scale);
+    uint64_t fill =
+        total > scan_refs ? (total - scan_refs) / rounds
+                          : srefs(1e5, scale);
+    for (auto &ph : phases)
+        if (ph.kind == PhaseSpec::Kind::Compute)
+            ph.refs = fill;
+
+    w.phases = std::move(phases);
+    return w;
+}
+
+/*
+ * Render displaying a scene from a >100MB precomputed database:
+ * 245M refs, 1433 -> 6145 faults. Modelled as per-frame traversals:
+ * the near scene (R1, fits in 1/2 memory) is swept every frame, the
+ * far scene (R2, fits only in full memory) every third frame.
+ */
+WorkloadSpec
+make_render_spec(double scale)
+{
+    WorkloadSpec w;
+    w.name = "render";
+    w.hot_pages = spages(100, scale);
+
+    uint64_t r1_lo = w.hot_pages;
+    uint64_t r1_hi = r1_lo + spages(500, scale);
+    uint64_t r2_lo = r1_hi;
+    uint64_t r2_hi = r2_lo + spages(830, scale);
+
+    std::vector<PhaseSpec> phases;
+    uint64_t scan_refs = 0;
+    const int frames = 6;
+    int r2_pass = 0;
+    for (int i = 0; i < frames; ++i) {
+        // Per-frame traversals do a lot of shading work per visited
+        // page, so the inter-fault gaps are the widest of the five
+        // applications.
+        PhaseSpec near = sweep_pass(r1_lo, r1_hi, i, 40e3);
+        scan_refs += near.refs;
+        phases.push_back(near);
+
+        if (i % 3 == 1) {
+            PhaseSpec far =
+                sweep_pass(r2_lo, r2_hi, r2_pass++, 20e3, 2);
+            scan_refs += far.refs;
+            phases.push_back(far);
+        }
+
+        // Shading / rasterization compute over the near scene.
+        PhaseSpec comp;
+        comp.kind = PhaseSpec::Kind::Compute;
+        comp.page_lo = r1_lo;
+        comp.page_hi = r1_lo + spages(120, scale);
+        comp.zipf_skew = 0.8;
+        comp.hot_frac = 0.7;
+        comp.refs = 0;
+        phases.push_back(comp);
+    }
+
+    uint64_t total = srefs(245e6, scale);
+    uint64_t fill =
+        total > scan_refs ? (total - scan_refs) / frames
+                          : srefs(1e5, scale);
+    for (auto &ph : phases)
+        if (ph.kind == PhaseSpec::Kind::Compute && ph.refs == 0)
+            ph.refs = fill;
+
+    w.phases = std::move(phases);
+    return w;
+}
+
+/*
+ * gdb initialization: only 0.5M refs, 138 -> 882 faults, and the
+ * paper's most bursty fault pattern (Figure 10): nearly all faults
+ * land in a few steep jumps. Modelled as dense bursts over a small
+ * region plus sparse re-reads of a larger one, with almost no
+ * compute between bursts.
+ */
+WorkloadSpec
+make_gdb_spec(double scale)
+{
+    WorkloadSpec w;
+    w.name = "gdb";
+    w.hot_pages = spages(20, scale);
+
+    uint64_t r1_lo = w.hot_pages;
+    uint64_t r1_hi = r1_lo + spages(40, scale);
+    uint64_t r2_lo = r1_hi;
+    uint64_t r2_hi = r2_lo + spages(78, scale);
+
+    std::vector<PhaseSpec> phases;
+    uint64_t scan_refs = 0;
+    const int bursts = 8;
+    for (int i = 0; i < bursts; ++i) {
+        // gdb's bursts are nearly back-to-back (the trace only has
+        // half a million references for ~880 faults), which is why it
+        // gets the highest I/O-overlap share (83%) in the paper.
+        PhaseSpec r1 = sweep_pass(r1_lo, r1_hi, i, 1.4);
+        scan_refs += r1.refs;
+        phases.push_back(r1);
+
+        if (i % 2 == 1) {
+            PhaseSpec r2;
+            r2.kind = PhaseSpec::Kind::SparseScan;
+            r2.page_lo = r2_lo;
+            r2.page_hi = r2_hi;
+            r2.touches_per_page = 3;
+            r2.hot_frac = 0.3;
+            r2.refs = srefs((r2_hi - r2_lo) * 3 / 0.7, 1.0);
+            scan_refs += r2.refs;
+            phases.push_back(r2);
+        }
+
+        PhaseSpec comp;
+        comp.kind = PhaseSpec::Kind::Compute;
+        comp.page_lo = comp.page_hi = 0;
+        comp.refs = 0;
+        phases.push_back(comp);
+    }
+
+    uint64_t total = srefs(0.5e6, scale);
+    uint64_t fill =
+        total > scan_refs ? (total - scan_refs) / bursts
+                          : srefs(1e3, scale);
+    for (auto &ph : phases)
+        if (ph.kind == PhaseSpec::Kind::Compute)
+            ph.refs = fill;
+
+    w.phases = std::move(phases);
+    return w;
+}
+
+const std::vector<std::string> &
+app_names()
+{
+    static const std::vector<std::string> names = {
+        "modula3", "ld", "atom", "render", "gdb"};
+    return names;
+}
+
+WorkloadSpec
+make_app_spec(const std::string &name, double scale)
+{
+    if (name == "modula3")
+        return make_modula3_spec(scale);
+    if (name == "ld")
+        return make_ld_spec(scale);
+    if (name == "atom")
+        return make_atom_spec(scale);
+    if (name == "render")
+        return make_render_spec(scale);
+    if (name == "gdb")
+        return make_gdb_spec(scale);
+    fatal("unknown application model '%s'", name.c_str());
+}
+
+std::unique_ptr<SyntheticTrace>
+make_app_trace(const std::string &name, double scale, uint64_t seed)
+{
+    return std::make_unique<SyntheticTrace>(make_app_spec(name, scale),
+                                            seed);
+}
+
+} // namespace sgms

@@ -1,0 +1,187 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+uint64_t
+WorkloadSpec::total_refs() const
+{
+    uint64_t total = 0;
+    for (const auto &ph : phases)
+        total += ph.refs;
+    return total;
+}
+
+uint64_t
+WorkloadSpec::page_span() const
+{
+    uint64_t hi = hot_pages;
+    for (const auto &ph : phases)
+        hi = std::max(hi, ph.page_hi);
+    return hi;
+}
+
+SyntheticTrace::SyntheticTrace(WorkloadSpec spec, uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed), rng_(seed)
+{
+    if (!is_pow2(spec_.page_size))
+        fatal("workload '%s': page size must be a power of two",
+              spec_.name.c_str());
+    for (const auto &ph : spec_.phases) {
+        if (ph.page_hi < ph.page_lo)
+            fatal("workload '%s': malformed phase region",
+                  spec_.name.c_str());
+        if (ph.kind != PhaseSpec::Kind::Compute &&
+            ph.page_hi == ph.page_lo && ph.refs) {
+            fatal("workload '%s': scan phase over empty region",
+                  spec_.name.c_str());
+        }
+    }
+
+    if (spec_.hot_pages > 0) {
+        hot_table_ = ZipfTable(
+            std::max<uint64_t>(spec_.hot_pages, 1) *
+                (spec_.page_size / 64),
+            spec_.hot_zipf_skew);
+    }
+    phase_tables_.resize(spec_.phases.size());
+    for (size_t i = 0; i < spec_.phases.size(); ++i) {
+        const auto &ph = spec_.phases[i];
+        if (ph.kind == PhaseSpec::Kind::Compute &&
+            ph.page_hi > ph.page_lo) {
+            phase_tables_[i] =
+                ZipfTable(ph.page_hi - ph.page_lo, ph.zipf_skew);
+        }
+    }
+
+    reset();
+}
+
+void
+SyntheticTrace::reset()
+{
+    rng_.reseed(seed_);
+    phase_idx_ = 0;
+    phase_left_ = 0;
+    if (!spec_.phases.empty())
+        enter_phase(0);
+}
+
+void
+SyntheticTrace::enter_phase(size_t idx)
+{
+    phase_idx_ = idx;
+    const PhaseSpec &ph = spec_.phases[idx];
+    phase_left_ = ph.refs;
+    scan_addr_ = ph.page_lo * spec_.page_size;
+    sparse_page_ = ph.page_lo;
+    sparse_touch_ = 0;
+}
+
+Addr
+SyntheticTrace::pattern_addr(const PhaseSpec &ph)
+{
+    const uint64_t psize = spec_.page_size;
+    switch (ph.kind) {
+      case PhaseSpec::Kind::DenseScan: {
+        Addr a = scan_addr_;
+        scan_addr_ += ph.stride;
+        if (scan_addr_ >= ph.page_hi * psize)
+            scan_addr_ = ph.page_lo * psize; // wrap: next pass
+        return a;
+      }
+      case PhaseSpec::Kind::SweepScan: {
+        uint32_t touches = std::max<uint32_t>(ph.sweep_touches, 1);
+        uint32_t per_visit =
+            touches + (ph.sweep_record_bytes ? 1 : 0);
+        Addr a;
+        if (sparse_touch_ < touches) {
+            uint64_t offset =
+                (static_cast<uint64_t>(ph.sweep_pass) * touches +
+                 sparse_touch_) *
+                ph.sweep_step % psize;
+            if (ph.sweep_jitter)
+                offset += rng_.below(ph.sweep_jitter);
+            if (offset >= psize)
+                offset = psize - 1;
+            sweep_last_offset_ = offset;
+            a = sparse_page_ * psize + offset;
+        } else {
+            // Record tail: may cross into the next subpage.
+            uint64_t offset =
+                sweep_last_offset_ + ph.sweep_record_bytes;
+            if (offset >= psize)
+                offset = psize - 1;
+            a = sparse_page_ * psize + offset;
+        }
+        if (++sparse_touch_ >= per_visit) {
+            sparse_touch_ = 0;
+            if (++sparse_page_ >= ph.page_hi)
+                sparse_page_ = ph.page_lo; // wrap: next pass
+        }
+        return a;
+      }
+      case PhaseSpec::Kind::SparseScan: {
+        Addr a = sparse_page_ * psize + rng_.below(psize);
+        if (++sparse_touch_ >= ph.touches_per_page) {
+            sparse_touch_ = 0;
+            if (++sparse_page_ >= ph.page_hi)
+                sparse_page_ = ph.page_lo; // wrap: next pass
+        }
+        return a;
+      }
+      case PhaseSpec::Kind::Compute: {
+        uint64_t span = ph.page_hi - ph.page_lo;
+        if (span == 0)
+            return hot_addr();
+        uint64_t rank = phase_tables_[phase_idx_].sample(rng_);
+        // Scatter ranks across the region so popularity is not
+        // correlated with position.
+        uint64_t page =
+            ph.page_lo + (rank * 2654435761ULL) % span;
+        return page * psize + rng_.below(psize);
+      }
+    }
+    panic("unreachable phase kind");
+}
+
+Addr
+SyntheticTrace::hot_addr()
+{
+    uint64_t hot_pages = std::max<uint64_t>(spec_.hot_pages, 1);
+    uint64_t lines = hot_pages * (spec_.page_size / 64);
+    uint64_t rank = hot_table_.valid() ? hot_table_.sample(rng_)
+                                       : rng_.zipf(lines,
+                                                   spec_.hot_zipf_skew);
+    // Scatter popularity across the hot pages so every hot page
+    // stays recently used.
+    uint64_t line = (rank * 2654435761ULL) % lines;
+    return line * 64 + rng_.below(64);
+}
+
+bool
+SyntheticTrace::next(TraceEvent &ev)
+{
+    while (phase_left_ == 0) {
+        if (phase_idx_ + 1 >= spec_.phases.size())
+            return false;
+        enter_phase(phase_idx_ + 1);
+    }
+    --phase_left_;
+
+    const PhaseSpec &ph = spec_.phases[phase_idx_];
+    bool hot = spec_.hot_pages > 0 && rng_.chance(ph.hot_frac);
+    if (hot) {
+        ev.addr = hot_addr();
+    } else {
+        ev.addr = pattern_addr(ph);
+    }
+    ev.write = rng_.chance(ph.write_frac);
+    return true;
+}
+
+} // namespace sgms

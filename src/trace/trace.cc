@@ -1,0 +1,24 @@
+#include "trace/trace.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+uint64_t
+measure_footprint_pages(TraceSource &trace, uint32_t page_size)
+{
+    SGMS_ASSERT(is_pow2(page_size));
+    uint32_t shift = log2_exact(page_size);
+    std::unordered_set<PageId> pages;
+    TraceEvent ev;
+    trace.reset();
+    while (trace.next(ev))
+        pages.insert(ev.addr >> shift);
+    trace.reset();
+    return pages.size();
+}
+
+} // namespace sgms

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Memory-reference trace abstractions.
+ *
+ * The paper drives its simulator with ATOM-generated reference traces
+ * of five applications. We model a trace as a stream of (address,
+ * is-write) events; sources include files (for real traces) and the
+ * synthetic application models in trace/apps.h.
+ */
+
+#ifndef SGMS_TRACE_TRACE_H
+#define SGMS_TRACE_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgms
+{
+
+/** One memory reference. */
+struct TraceEvent
+{
+    Addr addr = 0;
+    bool write = false;
+};
+
+/** A restartable stream of trace events. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next event; false at end of trace. */
+    virtual bool next(TraceEvent &ev) = 0;
+
+    /** Rewind to the beginning. */
+    virtual void reset() = 0;
+
+    /** Expected number of events (0 if unknown). */
+    virtual uint64_t size_hint() const { return 0; }
+};
+
+/** In-memory trace, mainly for tests and tiny examples. */
+class VectorTrace : public TraceSource
+{
+  public:
+    VectorTrace() = default;
+    explicit VectorTrace(std::vector<TraceEvent> events)
+        : events_(std::move(events))
+    {}
+
+    void
+    push(Addr addr, bool write = false)
+    {
+        events_.push_back({addr, write});
+    }
+
+    bool
+    next(TraceEvent &ev) override
+    {
+        if (pos_ >= events_.size())
+            return false;
+        ev = events_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    uint64_t size_hint() const override { return events_.size(); }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+  private:
+    std::vector<TraceEvent> events_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Count the distinct pages a trace touches (its footprint), used to
+ * size the full / half / quarter memory configurations exactly as the
+ * paper does ("the program is given as much memory as it needs").
+ */
+uint64_t measure_footprint_pages(TraceSource &trace, uint32_t page_size);
+
+} // namespace sgms
+
+#endif // SGMS_TRACE_TRACE_H

@@ -1,0 +1,178 @@
+#include "trace/trace_file.h"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace sgms
+{
+
+namespace
+{
+constexpr char MAGIC[4] = {'S', 'G', 'M', 'T'};
+constexpr uint32_t VERSION = 1;
+
+void
+put_u32(std::FILE *f, uint32_t v)
+{
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i)
+        b[i] = (v >> (8 * i)) & 0xff;
+    std::fwrite(b, 1, 4, f);
+}
+
+void
+put_u64(std::FILE *f, uint64_t v)
+{
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i)
+        b[i] = (v >> (8 * i)) & 0xff;
+    std::fwrite(b, 1, 8, f);
+}
+
+bool
+get_u32(std::FILE *f, uint32_t &v)
+{
+    unsigned char b[4];
+    if (std::fread(b, 1, 4, f) != 4)
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(b[i]) << (8 * i);
+    return true;
+}
+
+bool
+get_u64(std::FILE *f, uint64_t &v)
+{
+    unsigned char b[8];
+    if (std::fread(b, 1, 8, f) != 8)
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(b[i]) << (8 * i);
+    return true;
+}
+} // namespace
+
+void
+write_trace_binary(TraceSource &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    std::fwrite(MAGIC, 1, 4, f);
+    put_u32(f, VERSION);
+    // Count goes in a fixed slot; fill after the pass.
+    long count_pos = std::ftell(f);
+    put_u64(f, 0);
+    uint64_t count = 0;
+    TraceEvent ev;
+    trace.reset();
+    while (trace.next(ev)) {
+        unsigned char flags = ev.write ? 1 : 0;
+        std::fwrite(&flags, 1, 1, f);
+        put_u64(f, ev.addr);
+        ++count;
+    }
+    std::fseek(f, count_pos, SEEK_SET);
+    put_u64(f, count);
+    if (std::fclose(f) != 0)
+        fatal("error writing trace file '%s'", path.c_str());
+    trace.reset();
+}
+
+void
+write_trace_text(TraceSource &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    std::fprintf(f, "# sgms text trace\n");
+    TraceEvent ev;
+    trace.reset();
+    while (trace.next(ev))
+        std::fprintf(f, "%c %" PRIx64 "\n", ev.write ? 'W' : 'R',
+                     ev.addr);
+    if (std::fclose(f) != 0)
+        fatal("error writing trace file '%s'", path.c_str());
+    trace.reset();
+}
+
+FileTrace::FileTrace(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char magic[4];
+    size_t n = std::fread(magic, 1, 4, file_);
+    if (n == 4 && std::memcmp(magic, MAGIC, 4) == 0) {
+        binary_ = true;
+        uint32_t version = 0;
+        if (!get_u32(file_, version) || version != VERSION)
+            fatal("trace file '%s': unsupported version", path.c_str());
+        if (!get_u64(file_, count_))
+            fatal("trace file '%s': truncated header", path.c_str());
+        data_start_ = std::ftell(file_);
+    } else {
+        binary_ = false;
+        data_start_ = 0;
+        std::fseek(file_, 0, SEEK_SET);
+    }
+}
+
+FileTrace::~FileTrace()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+FileTrace::next(TraceEvent &ev)
+{
+    return binary_ ? next_binary(ev) : next_text(ev);
+}
+
+bool
+FileTrace::next_binary(TraceEvent &ev)
+{
+    unsigned char flags;
+    if (std::fread(&flags, 1, 1, file_) != 1)
+        return false;
+    uint64_t addr;
+    if (!get_u64(file_, addr))
+        fatal("trace file '%s': truncated record", path_.c_str());
+    ev.addr = addr;
+    ev.write = flags & 1;
+    return true;
+}
+
+bool
+FileTrace::next_text(TraceEvent &ev)
+{
+    char line[256];
+    while (std::fgets(line, sizeof(line), file_)) {
+        char kind = 0;
+        uint64_t addr = 0;
+        if (line[0] == '#' || line[0] == '\n' || line[0] == '\0')
+            continue;
+        if (std::sscanf(line, " %c %" SCNx64, &kind, &addr) != 2)
+            fatal("trace file '%s': bad line '%s'", path_.c_str(), line);
+        if (kind != 'R' && kind != 'W' && kind != 'r' && kind != 'w')
+            fatal("trace file '%s': bad access kind '%c'", path_.c_str(),
+                  kind);
+        ev.addr = addr;
+        ev.write = kind == 'W' || kind == 'w';
+        return true;
+    }
+    return false;
+}
+
+void
+FileTrace::reset()
+{
+    std::fseek(file_, data_start_, SEEK_SET);
+}
+
+} // namespace sgms

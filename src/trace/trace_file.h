@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Trace file I/O.
+ *
+ * Two formats:
+ *  - binary ("SGMT"): compact 9-byte records, for large traces;
+ *  - text: one "R <hex-addr>" or "W <hex-addr>" per line, '#'
+ *    comments allowed, for hand-written traces and interop.
+ */
+
+#ifndef SGMS_TRACE_TRACE_FILE_H
+#define SGMS_TRACE_TRACE_FILE_H
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace sgms
+{
+
+/** Write @p trace to @p path in binary SGMT format. */
+void write_trace_binary(TraceSource &trace, const std::string &path);
+
+/** Write @p trace to @p path as text. */
+void write_trace_text(TraceSource &trace, const std::string &path);
+
+/**
+ * Streaming reader for both formats (sniffs the magic). Fails fatally
+ * on unreadable or corrupt files.
+ */
+class FileTrace : public TraceSource
+{
+  public:
+    explicit FileTrace(const std::string &path);
+    ~FileTrace() override;
+
+    FileTrace(const FileTrace &) = delete;
+    FileTrace &operator=(const FileTrace &) = delete;
+
+    bool next(TraceEvent &ev) override;
+    void reset() override;
+    uint64_t size_hint() const override { return count_; }
+
+  private:
+    bool next_binary(TraceEvent &ev);
+    bool next_text(TraceEvent &ev);
+
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    bool binary_ = false;
+    uint64_t count_ = 0;    // declared count (binary) or 0
+    long data_start_ = 0;   // offset of first record
+};
+
+} // namespace sgms
+
+#endif // SGMS_TRACE_TRACE_FILE_H

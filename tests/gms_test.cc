@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the global memory cluster substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gms/gms.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace sgms
+{
+namespace
+{
+
+class GmsTest : public ::testing::Test
+{
+  protected:
+    EventQueue eq;
+    NetParams params = NetParams::an2();
+};
+
+TEST_F(GmsTest, PlacementIsStableAndInRange)
+{
+    Network net(eq, params);
+    GmsCluster gms(net, GmsConfig{4, true, true}, 0);
+    for (PageId p = 0; p < 1000; ++p) {
+        NodeId n1 = gms.server_of(p);
+        NodeId n2 = gms.server_of(p);
+        EXPECT_EQ(n1, n2);
+        EXPECT_GE(n1, 1u);
+        EXPECT_LE(n1, 4u);
+    }
+}
+
+TEST_F(GmsTest, PlacementBalancesAcrossServers)
+{
+    Network net(eq, params);
+    GmsCluster gms(net, GmsConfig{4, true, true}, 0);
+    std::map<NodeId, int> counts;
+    for (PageId p = 0; p < 8000; ++p)
+        ++counts[gms.server_of(p)];
+    ASSERT_EQ(counts.size(), 4u);
+    for (const auto &[node, count] : counts) {
+        EXPECT_GT(count, 1600);
+        EXPECT_LT(count, 2400);
+    }
+}
+
+TEST_F(GmsTest, WarmCacheHoldsEverything)
+{
+    Network net(eq, params);
+    GmsCluster gms(net, GmsConfig{2, true, true}, 0);
+    EXPECT_TRUE(gms.in_global_memory(0));
+    EXPECT_TRUE(gms.in_global_memory(123456));
+}
+
+TEST_F(GmsTest, ColdCacheFillsOnEviction)
+{
+    Network net(eq, params);
+    GmsCluster gms(net, GmsConfig{2, false, true}, 0);
+    EXPECT_FALSE(gms.in_global_memory(7));
+    gms.put_page(0, 7, 8192, true);
+    EXPECT_TRUE(gms.in_global_memory(7));
+    EXPECT_FALSE(gms.in_global_memory(8));
+}
+
+TEST_F(GmsTest, PutPageSendsTrafficForDirtyOnly)
+{
+    Network net(eq, params);
+    GmsCluster gms(net, GmsConfig{2, true, true}, 0);
+    gms.put_page(0, 1, 8192, /*dirty=*/false);
+    EXPECT_EQ(net.stats().messages, 0u);
+    gms.put_page(0, 2, 8192, /*dirty=*/true);
+    EXPECT_EQ(net.stats().messages, 1u);
+    EXPECT_EQ(net.stats().bytes_by_kind[static_cast<int>(
+                  MsgKind::PutPage)],
+              8192u);
+    EXPECT_EQ(gms.putpages(), 1u);
+    eq.run_all();
+}
+
+TEST_F(GmsTest, PutPageTrafficCanBeDisabled)
+{
+    Network net(eq, params);
+    GmsCluster gms(net, GmsConfig{2, true, false}, 0);
+    gms.put_page(0, 1, 8192, true);
+    EXPECT_EQ(net.stats().messages, 0u);
+    // Cold-cache bookkeeping still updated.
+    EXPECT_TRUE(gms.in_global_memory(1));
+}
+
+TEST_F(GmsTest, SingleServerConfiguration)
+{
+    Network net(eq, params);
+    GmsCluster gms(net, GmsConfig{1, true, true}, 0);
+    for (PageId p = 0; p < 100; ++p)
+        EXPECT_EQ(gms.server_of(p), 1u);
+}
+
+} // namespace
+} // namespace sgms

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Property tests for the staged network model: conservation (every
+ * message is delivered exactly once), resource exclusivity (no two
+ * occupancies of one stage overlap), latency lower bounds, and the
+ * preemption mechanics of demand priority.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/random.h"
+#include "net/network.h"
+#include "net/resource.h"
+#include "net/timeline.h"
+#include "sim/event_queue.h"
+
+namespace sgms
+{
+namespace
+{
+
+struct RandomTrafficResult
+{
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    std::vector<TimelineEntry> timeline;
+    std::vector<Tick> delivery_times;
+};
+
+RandomTrafficResult
+run_random_traffic(uint64_t seed, bool preemption, int messages)
+{
+    EventQueue eq;
+    NetParams params = NetParams::an2();
+    params.preemptive_demand = preemption;
+    params.priority_scheduling = true;
+    TimelineRecorder rec;
+    Network net(eq, params, 0, &rec);
+    Rng rng(seed);
+
+    RandomTrafficResult out;
+    Tick now = 0;
+    for (int i = 0; i < messages; ++i) {
+        now += rng.below(ticks::from_us(200));
+        eq.run_until(now);
+        MsgKind kind;
+        switch (rng.below(4)) {
+          case 0:
+            kind = MsgKind::Request;
+            break;
+          case 1:
+            kind = MsgKind::DemandData;
+            break;
+          case 2:
+            kind = MsgKind::BackgroundData;
+            break;
+          default:
+            kind = MsgKind::PutPage;
+            break;
+        }
+        NodeId src, dst;
+        if (kind == MsgKind::Request || kind == MsgKind::PutPage) {
+            src = 0;
+            dst = 1 + static_cast<NodeId>(rng.below(3));
+        } else {
+            src = 1 + static_cast<NodeId>(rng.below(3));
+            dst = 0;
+        }
+        uint32_t bytes =
+            static_cast<uint32_t>(256 << rng.below(6)); // 256..8K
+        ++out.sent;
+        net.send(now, {src, dst, bytes, kind, false,
+                       [&out](Tick d, Tick) {
+                           ++out.delivered;
+                           out.delivery_times.push_back(d);
+                       }});
+    }
+    eq.run_all();
+    out.timeline = rec.entries();
+    return out;
+}
+
+class NetProperty : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(NetProperty, EveryMessageDeliveredExactlyOnce)
+{
+    for (bool preempt : {false, true}) {
+        auto r = run_random_traffic(GetParam(), preempt, 400);
+        EXPECT_EQ(r.sent, 400u);
+        EXPECT_EQ(r.delivered, r.sent)
+            << "preemption=" << preempt;
+    }
+}
+
+TEST_P(NetProperty, StageOccupanciesNeverOverlap)
+{
+    for (bool preempt : {false, true}) {
+        auto r = run_random_traffic(GetParam(), preempt, 400);
+        // Group timeline entries by (component, node); within each
+        // resource, busy intervals must not overlap.
+        std::map<std::pair<int, NodeId>, std::vector<TimelineEntry>>
+            by_resource;
+        for (const auto &e : r.timeline) {
+            by_resource[{static_cast<int>(e.comp), e.node}].push_back(
+                e);
+        }
+        for (auto &[key, entries] : by_resource) {
+            std::sort(entries.begin(), entries.end(),
+                      [](const TimelineEntry &a,
+                         const TimelineEntry &b) {
+                          return a.start < b.start;
+                      });
+            for (size_t i = 1; i < entries.size(); ++i) {
+                EXPECT_GE(entries[i].start, entries[i - 1].end)
+                    << "overlap on component " << key.first
+                    << " node " << key.second << " preempt "
+                    << preempt;
+            }
+        }
+    }
+}
+
+TEST_P(NetProperty, DeliveriesRespectMinimumLatency)
+{
+    auto r = run_random_traffic(GetParam(), true, 200);
+    NetParams p = NetParams::an2();
+    // No message can be delivered faster than a 256-byte message on
+    // an idle network (smallest payload used in the generator is
+    // 256B except requests at 64B).
+    Tick floor = p.send_cpu_data +
+                 2 * (p.dma_fixed + p.dma_per_byte * 64) +
+                 p.wire_fixed + p.wire_per_byte * 64;
+    for (Tick d : r.delivery_times)
+        EXPECT_GE(d, floor);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(Preemption, DemandPreemptsInFlightBackground)
+{
+    EventQueue eq;
+    StageResource res(eq, Component::Wire, 0, nullptr,
+                      /*preemption=*/true);
+    std::vector<std::pair<int, Tick>> completions;
+    // Long background item starts at t=0 (duration 1000).
+    res.submit(0, 1000, 0, 1, MsgKind::BackgroundData,
+               [&](Tick, Tick end) { completions.push_back({1, end}); });
+    // Demand item arrives at t=100 with higher priority.
+    eq.schedule(100, [&] {
+        res.submit(100, 50, 2, 2, MsgKind::DemandData,
+                   [&](Tick, Tick end) {
+                       completions.push_back({2, end});
+                   });
+    });
+    eq.run_all();
+    ASSERT_EQ(completions.size(), 2u);
+    // Demand completes first at 150; background resumes and finishes
+    // its remaining 900 at 1050.
+    EXPECT_EQ(completions[0].first, 2);
+    EXPECT_EQ(completions[0].second, 150);
+    EXPECT_EQ(completions[1].first, 1);
+    EXPECT_EQ(completions[1].second, 1050);
+    EXPECT_EQ(res.total_busy(), 1050);
+}
+
+TEST(Preemption, DisabledMeansFifo)
+{
+    EventQueue eq;
+    StageResource res(eq, Component::Wire, 0, nullptr,
+                      /*preemption=*/false);
+    std::vector<std::pair<int, Tick>> completions;
+    res.submit(0, 1000, 0, 1, MsgKind::BackgroundData,
+               [&](Tick, Tick end) { completions.push_back({1, end}); });
+    eq.schedule(100, [&] {
+        res.submit(100, 50, 2, 2, MsgKind::DemandData,
+                   [&](Tick, Tick end) {
+                       completions.push_back({2, end});
+                   });
+    });
+    eq.run_all();
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(completions[0].first, 1);
+    EXPECT_EQ(completions[0].second, 1000);
+    EXPECT_EQ(completions[1].second, 1050);
+}
+
+TEST(Preemption, DemandNeverPreemptsDemand)
+{
+    EventQueue eq;
+    StageResource res(eq, Component::Wire, 0, nullptr, true);
+    std::vector<int> order;
+    res.submit(0, 1000, 2, 1, MsgKind::DemandData,
+               [&](Tick, Tick) { order.push_back(1); });
+    eq.schedule(100, [&] {
+        res.submit(100, 50, 3, 2, MsgKind::Request,
+                   [&](Tick, Tick) { order.push_back(2); });
+    });
+    eq.run_all();
+    // DemandData is not preemptible, so the in-flight item finishes.
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Preemption, RepeatedPreemptionResumesCorrectly)
+{
+    EventQueue eq;
+    StageResource res(eq, Component::Wire, 0, nullptr, true);
+    Tick bg_end = 0;
+    std::vector<Tick> demand_ends;
+    res.submit(0, 1000, 0, 1, MsgKind::BackgroundData,
+               [&](Tick, Tick end) { bg_end = end; });
+    for (Tick t : {100, 300, 500}) {
+        eq.schedule(t, [&, t] {
+            res.submit(t, 50, 2, 10 + t, MsgKind::DemandData,
+                       [&](Tick, Tick end) {
+                           demand_ends.push_back(end);
+                       });
+        });
+    }
+    eq.run_all();
+    ASSERT_EQ(demand_ends.size(), 3u);
+    EXPECT_EQ(demand_ends[0], 150);
+    EXPECT_EQ(demand_ends[1], 350);
+    EXPECT_EQ(demand_ends[2], 550);
+    // Background did 100+150+150 before/between demands; total work
+    // 1000 plus 150 of demand-induced delay => ends at 1150.
+    EXPECT_EQ(bg_end, 1150);
+}
+
+TEST(Preemption, QueuedBackgroundResumeOrderStable)
+{
+    EventQueue eq;
+    StageResource res(eq, Component::Wire, 0, nullptr, true);
+    std::vector<int> order;
+    res.submit(0, 100, 0, 1, MsgKind::BackgroundData,
+               [&](Tick, Tick) { order.push_back(1); });
+    res.submit(0, 100, 0, 2, MsgKind::BackgroundData,
+               [&](Tick, Tick) { order.push_back(2); });
+    eq.schedule(50, [&] {
+        res.submit(50, 10, 2, 3, MsgKind::DemandData,
+                   [&](Tick, Tick) { order.push_back(3); });
+    });
+    eq.run_all();
+    // Demand at 50 preempts item 1; item 1's remainder must resume
+    // BEFORE item 2 (original arrival order).
+    EXPECT_EQ(order, (std::vector<int>{3, 1, 2}));
+}
+
+} // namespace
+} // namespace sgms

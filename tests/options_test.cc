@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the Options parser and the SimConfig override mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/options.h"
+#include "core/config_override.h"
+
+namespace sgms
+{
+namespace
+{
+
+Options
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    return Options(static_cast<int>(args.size()),
+                   const_cast<char **>(args.data()));
+}
+
+TEST(Options, KeyValueAndFlags)
+{
+    Options o = parse({"--policy=eager", "--tlb", "pos1", "pos2"});
+    EXPECT_TRUE(o.has("policy"));
+    EXPECT_EQ(o.get("policy"), "eager");
+    EXPECT_TRUE(o.get_bool("tlb"));
+    EXPECT_FALSE(o.has("missing"));
+    EXPECT_EQ(o.get("missing", "dflt"), "dflt");
+    ASSERT_EQ(o.positional().size(), 2u);
+    EXPECT_EQ(o.positional()[0], "pos1");
+    EXPECT_EQ(o.positional()[1], "pos2");
+}
+
+TEST(Options, TypedGetters)
+{
+    Options o = parse({"--a=2.5", "--b=42", "--c=8K", "--d=yes",
+                       "--e=off"});
+    EXPECT_DOUBLE_EQ(o.get_double("a", 0), 2.5);
+    EXPECT_EQ(o.get_u64("b", 0), 42u);
+    EXPECT_EQ(o.get_bytes("c", 0), 8192u);
+    EXPECT_TRUE(o.get_bool("d"));
+    EXPECT_FALSE(o.get_bool("e"));
+    EXPECT_DOUBLE_EQ(o.get_double("zz", 7.5), 7.5);
+    EXPECT_EQ(o.get_u64("zz", 9), 9u);
+    EXPECT_EQ(o.get_bytes("zz", 11), 11u);
+}
+
+TEST(Options, UnusedDetection)
+{
+    Options o = parse({"--used=1", "--typo=1"});
+    o.get("used");
+    auto unused = o.unused();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Options, EmptyCommandLine)
+{
+    Options o = parse({});
+    EXPECT_TRUE(o.positional().empty());
+    EXPECT_TRUE(o.unused().empty());
+}
+
+TEST(ConfigOverride, AppliesRecognizedKeys)
+{
+    Options o = parse({"--subpage=2K", "--policy=pipelining",
+                       "--mem-pages=128", "--replacement=clock",
+                       "--servers=8", "--cold", "--no-putpage",
+                       "--global-capacity=1000",
+                       "--cluster-load=0.3", "--software-pal",
+                       "--tlb=64", "--fifo-network",
+                       "--ns-per-ref=10"});
+    SimConfig cfg;
+    apply_config_overrides(cfg, o);
+    EXPECT_EQ(cfg.subpage_size, 2048u);
+    EXPECT_EQ(cfg.policy, "pipelining");
+    EXPECT_EQ(cfg.mem_pages, 128u);
+    EXPECT_EQ(cfg.replacement, "clock");
+    EXPECT_EQ(cfg.gms.servers, 8u);
+    EXPECT_FALSE(cfg.gms.warm);
+    EXPECT_FALSE(cfg.gms.putpage_traffic);
+    EXPECT_EQ(cfg.gms.server_capacity_pages, 1000u);
+    EXPECT_DOUBLE_EQ(cfg.cluster_load.server_utilization, 0.3);
+    EXPECT_EQ(cfg.protection, ProtectionMode::SoftwarePal);
+    EXPECT_TRUE(cfg.tlb_enabled);
+    EXPECT_EQ(cfg.tlb_entries, 64u);
+    EXPECT_FALSE(cfg.net.priority_scheduling);
+    EXPECT_FALSE(cfg.net.preemptive_demand);
+    EXPECT_EQ(cfg.ns_per_ref, ticks::from_ns(10));
+}
+
+TEST(ConfigOverride, DefaultsUntouched)
+{
+    Options o = parse({});
+    SimConfig cfg;
+    SimConfig before = cfg;
+    apply_config_overrides(cfg, o);
+    EXPECT_EQ(cfg.page_size, before.page_size);
+    EXPECT_EQ(cfg.policy, before.policy);
+    EXPECT_TRUE(cfg.gms.warm);
+    EXPECT_TRUE(cfg.net.priority_scheduling);
+    EXPECT_EQ(cfg.protection, ProtectionMode::HardwareTlb);
+}
+
+TEST(ConfigOverride, ProtoControllerCosts)
+{
+    Options o = parse({"--proto-controller"});
+    SimConfig cfg;
+    apply_config_overrides(cfg, o);
+    EXPECT_EQ(cfg.net.pipelined_recv_fixed, ticks::from_us(60));
+    EXPECT_EQ(cfg.net.pipelined_recv_per_byte, ticks::from_ns(31));
+}
+
+} // namespace
+} // namespace sgms

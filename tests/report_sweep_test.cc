@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the JSON report writer, the grid-sweep driver, and the
+ * future-network parameter scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/json_report.h"
+#include "core/sweep.h"
+#include "net/params.h"
+
+namespace sgms
+{
+namespace
+{
+
+SimResult
+tiny_result()
+{
+    SimResult r;
+    r.app = "test\"app";
+    r.policy = "eager";
+    r.page_size = 8192;
+    r.subpage_size = 1024;
+    r.refs = 100;
+    r.page_faults = 2;
+    r.runtime = ticks::from_ms(1.5);
+    r.exec_time = ticks::from_ms(0.5);
+    r.sp_latency = ticks::from_ms(1.0);
+    r.next_subpage_distance.add(1, 5);
+    r.next_subpage_distance.add(-1, 2);
+    r.faults.push_back({7, 3, 0, ticks::from_ms(0.5), 0, false});
+    r.faults.push_back({9, 50, 0, ticks::from_ms(0.5), 0, true});
+    return r;
+}
+
+TEST(JsonReport, EscapesStrings)
+{
+    EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+    EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+    EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(JsonReport, EmitsCoreFields)
+{
+    std::ostringstream os;
+    write_result_json(os, tiny_result());
+    std::string j = os.str();
+    EXPECT_NE(j.find("\"app\":\"test\\\"app\""), std::string::npos);
+    EXPECT_NE(j.find("\"policy\":\"eager\""), std::string::npos);
+    EXPECT_NE(j.find("\"page_faults\":2"), std::string::npos);
+    EXPECT_NE(j.find("\"runtime_ms\":1.5"), std::string::npos);
+    EXPECT_NE(j.find("\"distance_histogram\":{\"-1\":2,\"1\":5}"),
+              std::string::npos);
+    // Faults excluded by default.
+    EXPECT_EQ(j.find("\"faults\":"), std::string::npos);
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j.back(), '}');
+}
+
+TEST(JsonReport, IncludesFaultsOnRequest)
+{
+    std::ostringstream os;
+    write_result_json(os, tiny_result(), /*include_faults=*/true);
+    std::string j = os.str();
+    EXPECT_NE(j.find("\"faults\":[{"), std::string::npos);
+    EXPECT_NE(j.find("\"from_disk\":true"), std::string::npos);
+    EXPECT_NE(j.find("\"page\":7"), std::string::npos);
+}
+
+TEST(JsonReport, ArrayForm)
+{
+    std::ostringstream os;
+    write_results_json(os, {tiny_result(), tiny_result()});
+    std::string j = os.str();
+    EXPECT_EQ(j.front(), '[');
+    EXPECT_NE(j.find("},\n{"), std::string::npos);
+}
+
+TEST(Sweep, PointCountAccountsForSubpageDimension)
+{
+    SweepSpec spec;
+    spec.apps = {"gdb", "modula3"};
+    spec.policies = {"fullpage", "eager", "pipelining"};
+    spec.subpage_sizes = {1024, 2048};
+    spec.mems = {MemConfig::Half, MemConfig::Quarter};
+    // fullpage: 2 apps x 2 mems x 1 = 4; eager & pipelining:
+    // 2 x 2 x 2 = 8 each.
+    EXPECT_EQ(spec.point_count(), 20u);
+}
+
+TEST(Sweep, RunsEveryPointAndLabelsResults)
+{
+    SweepSpec spec;
+    spec.apps = {"gdb"};
+    spec.policies = {"fullpage", "eager"};
+    spec.subpage_sizes = {1024, 2048};
+    spec.mems = {MemConfig::Half};
+    spec.scale = 0.5;
+    int progress_calls = 0;
+    auto results = run_sweep(
+        spec, [&](const Experiment &) { ++progress_calls; });
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(progress_calls, 3);
+    EXPECT_EQ(results[0].app, "gdb");
+    EXPECT_EQ(results[0].policy, "fullpage");
+    EXPECT_EQ(results[0].subpage_size, 8192u);
+    EXPECT_EQ(results[1].policy, "eager");
+    EXPECT_EQ(results[1].subpage_size, 1024u);
+    EXPECT_EQ(results[2].subpage_size, 2048u);
+    // The eager runs must beat fullpage (sanity of the sweep data).
+    EXPECT_LT(results[1].runtime, results[0].runtime);
+}
+
+TEST(FutureNetwork, ScalesPerByteRates)
+{
+    NetParams base = NetParams::an2();
+    NetParams fast = NetParams::future(4, 2);
+    EXPECT_EQ(fast.wire_per_byte, base.wire_per_byte / 4);
+    EXPECT_EQ(fast.dma_per_byte, base.dma_per_byte / 4);
+    EXPECT_EQ(fast.recv_fixed, base.recv_fixed / 2);
+    EXPECT_EQ(fast.recv_per_byte, base.recv_per_byte); // memory speed
+    EXPECT_LT(fast.demand_fetch_latency(8192),
+              base.demand_fetch_latency(8192));
+}
+
+TEST(FutureNetwork, LargeTransfersBecomeRelativelyMoreExpensive)
+{
+    // The paper's closing prediction rests on this: as the network
+    // outpaces memory, the 8K fetch becomes memory-copy-bound while
+    // small fetches keep shrinking with the fixed costs — so the
+    // 8K / 256B latency ratio *grows*, pushing the optimal subpage
+    // size down.
+    NetParams base = NetParams::an2();
+    NetParams fast = NetParams::future(16, 4);
+    double ratio_base =
+        static_cast<double>(base.demand_fetch_latency(8192)) /
+        base.demand_fetch_latency(256);
+    double ratio_fast =
+        static_cast<double>(fast.demand_fetch_latency(8192)) /
+        fast.demand_fetch_latency(256);
+    EXPECT_GT(ratio_fast, ratio_base);
+}
+
+} // namespace
+} // namespace sgms

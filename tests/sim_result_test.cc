@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for SimResult's derived metrics (used by the figure
+ * benches and the reproduction checks).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/sim_result.h"
+
+namespace sgms
+{
+namespace
+{
+
+FaultRecord
+fault_at(uint64_t ref_index, Tick sp_wait, Tick page_wait = 0)
+{
+    return FaultRecord{0, ref_index, 0, sp_wait, page_wait, false};
+}
+
+TEST(SimResultMetrics, TotalWait)
+{
+    FaultRecord f = fault_at(0, 100, 50);
+    EXPECT_EQ(f.total_wait(), 150);
+}
+
+TEST(SimResultMetrics, BestCaseFraction)
+{
+    SimResult r;
+    // Six faults at the minimum wait, four at ~3x it.
+    for (int i = 0; i < 6; ++i)
+        r.faults.push_back(fault_at(i, 1000));
+    for (int i = 0; i < 4; ++i)
+        r.faults.push_back(fault_at(10 + i, 3000));
+    EXPECT_DOUBLE_EQ(r.best_case_fraction(), 0.6);
+    // With a slack of 4x everything is "best case".
+    EXPECT_DOUBLE_EQ(r.best_case_fraction(4.0), 1.0);
+}
+
+TEST(SimResultMetrics, BestCaseFractionEmpty)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.best_case_fraction(), 0.0);
+}
+
+TEST(SimResultMetrics, BurstFractionAllUniform)
+{
+    // Faults evenly spread: no window is 3x the average.
+    SimResult r;
+    r.refs = 100000;
+    for (uint64_t i = 0; i < 100; ++i)
+        r.faults.push_back(fault_at(i * 1000, 1));
+    EXPECT_DOUBLE_EQ(r.burst_fault_fraction(10000), 0.0);
+}
+
+TEST(SimResultMetrics, BurstFractionAllClustered)
+{
+    // All faults inside one tiny region of the trace.
+    SimResult r;
+    r.refs = 1000000;
+    for (uint64_t i = 0; i < 100; ++i)
+        r.faults.push_back(fault_at(500000 + i, 1));
+    EXPECT_DOUBLE_EQ(r.burst_fault_fraction(10000), 1.0);
+}
+
+TEST(SimResultMetrics, BurstFractionMixed)
+{
+    SimResult r;
+    r.refs = 1000000;
+    // 50 clustered faults + 50 spread out; window 10k refs.
+    for (uint64_t i = 0; i < 50; ++i)
+        r.faults.push_back(fault_at(i * 19000, 1));
+    for (uint64_t i = 0; i < 50; ++i)
+        r.faults.push_back(fault_at(960000 + i * 10, 1));
+    double frac = r.burst_fault_fraction(10000);
+    EXPECT_GT(frac, 0.4);
+    EXPECT_LT(frac, 0.6);
+}
+
+TEST(SimResultMetrics, BurstFractionDegenerate)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.burst_fault_fraction(1000), 0.0);
+    r.refs = 100;
+    r.faults.push_back(fault_at(0, 1));
+    EXPECT_DOUBLE_EQ(r.burst_fault_fraction(0), 0.0);
+    // A single fault never counts as a burst (threshold >= 2).
+    EXPECT_DOUBLE_EQ(r.burst_fault_fraction(100), 0.0);
+}
+
+TEST(SimResultMetrics, IoOverlapShare)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.io_overlap_share(), 0.0);
+    r.io_overlap = 300;
+    r.comp_overlap = 100;
+    EXPECT_DOUBLE_EQ(r.io_overlap_share(), 0.75);
+}
+
+TEST(SimResultMetrics, SpeedupAndReduction)
+{
+    SimResult base, r;
+    base.runtime = 2000;
+    r.runtime = 1000;
+    EXPECT_DOUBLE_EQ(r.speedup_vs(base), 2.0);
+    EXPECT_DOUBLE_EQ(r.reduction_vs(base), 0.5);
+    EXPECT_DOUBLE_EQ(base.reduction_vs(r), -1.0);
+    SimResult zero;
+    EXPECT_DOUBLE_EQ(zero.speedup_vs(base), 0.0);
+    EXPECT_DOUBLE_EQ(zero.reduction_vs(zero), 0.0);
+}
+
+} // namespace
+} // namespace sgms
