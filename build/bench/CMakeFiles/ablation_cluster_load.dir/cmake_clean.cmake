@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cluster_load.dir/ablation_cluster_load.cc.o"
+  "CMakeFiles/ablation_cluster_load.dir/ablation_cluster_load.cc.o.d"
+  "ablation_cluster_load"
+  "ablation_cluster_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cluster_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

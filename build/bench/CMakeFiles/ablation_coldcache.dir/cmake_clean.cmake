@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coldcache.dir/ablation_coldcache.cc.o"
+  "CMakeFiles/ablation_coldcache.dir/ablation_coldcache.cc.o.d"
+  "ablation_coldcache"
+  "ablation_coldcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coldcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

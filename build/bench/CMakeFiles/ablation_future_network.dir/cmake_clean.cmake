@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_future_network.dir/ablation_future_network.cc.o"
+  "CMakeFiles/ablation_future_network.dir/ablation_future_network.cc.o.d"
+  "ablation_future_network"
+  "ablation_future_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_future_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_global_capacity.dir/ablation_global_capacity.cc.o"
+  "CMakeFiles/ablation_global_capacity.dir/ablation_global_capacity.cc.o.d"
+  "ablation_global_capacity"
+  "ablation_global_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_global_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pipeline_schemes.dir/ablation_pipeline_schemes.cc.o"
+  "CMakeFiles/ablation_pipeline_schemes.dir/ablation_pipeline_schemes.cc.o.d"
+  "ablation_pipeline_schemes"
+  "ablation_pipeline_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pipeline_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smallpages.dir/ablation_smallpages.cc.o"
+  "CMakeFiles/ablation_smallpages.dir/ablation_smallpages.cc.o.d"
+  "ablation_smallpages"
+  "ablation_smallpages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smallpages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

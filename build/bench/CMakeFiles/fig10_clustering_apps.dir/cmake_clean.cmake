@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_clustering_apps.dir/fig10_clustering_apps.cc.o"
+  "CMakeFiles/fig10_clustering_apps.dir/fig10_clustering_apps.cc.o.d"
+  "fig10_clustering_apps"
+  "fig10_clustering_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_clustering_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

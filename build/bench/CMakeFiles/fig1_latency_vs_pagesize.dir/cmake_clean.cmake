@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_latency_vs_pagesize.dir/fig1_latency_vs_pagesize.cc.o"
+  "CMakeFiles/fig1_latency_vs_pagesize.dir/fig1_latency_vs_pagesize.cc.o.d"
+  "fig1_latency_vs_pagesize"
+  "fig1_latency_vs_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_latency_vs_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

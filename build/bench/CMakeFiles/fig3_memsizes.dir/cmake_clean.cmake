@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_memsizes.dir/fig3_memsizes.cc.o"
+  "CMakeFiles/fig3_memsizes.dir/fig3_memsizes.cc.o.d"
+  "fig3_memsizes"
+  "fig3_memsizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_memsizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

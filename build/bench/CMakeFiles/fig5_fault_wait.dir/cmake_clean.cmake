@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fault_wait.dir/fig5_fault_wait.cc.o"
+  "CMakeFiles/fig5_fault_wait.dir/fig5_fault_wait.cc.o.d"
+  "fig5_fault_wait"
+  "fig5_fault_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fault_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

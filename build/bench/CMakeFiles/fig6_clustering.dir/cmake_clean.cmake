@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_clustering.dir/fig6_clustering.cc.o"
+  "CMakeFiles/fig6_clustering.dir/fig6_clustering.cc.o.d"
+  "fig6_clustering"
+  "fig6_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

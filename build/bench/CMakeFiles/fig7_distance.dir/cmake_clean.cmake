@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_distance.dir/fig7_distance.cc.o"
+  "CMakeFiles/fig7_distance.dir/fig7_distance.cc.o.d"
+  "fig7_distance"
+  "fig7_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

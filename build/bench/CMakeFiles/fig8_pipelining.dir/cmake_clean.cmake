@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pipelining.dir/fig8_pipelining.cc.o"
+  "CMakeFiles/fig8_pipelining.dir/fig8_pipelining.cc.o.d"
+  "fig8_pipelining"
+  "fig8_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_palcode.dir/table1_palcode.cc.o"
+  "CMakeFiles/table1_palcode.dir/table1_palcode.cc.o.d"
+  "table1_palcode"
+  "table1_palcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_palcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_grid.dir/export_grid.cpp.o"
+  "CMakeFiles/export_grid.dir/export_grid.cpp.o.d"
+  "export_grid"
+  "export_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_farm.dir/render_farm.cpp.o"
+  "CMakeFiles/render_farm.dir/render_farm.cpp.o.d"
+  "render_farm"
+  "render_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_sim.cc" "src/CMakeFiles/sgms.dir/cache/cache_sim.cc.o" "gcc" "src/CMakeFiles/sgms.dir/cache/cache_sim.cc.o.d"
+  "/root/repo/src/common/chart.cc" "src/CMakeFiles/sgms.dir/common/chart.cc.o" "gcc" "src/CMakeFiles/sgms.dir/common/chart.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/sgms.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/sgms.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/options.cc" "src/CMakeFiles/sgms.dir/common/options.cc.o" "gcc" "src/CMakeFiles/sgms.dir/common/options.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/sgms.dir/common/random.cc.o" "gcc" "src/CMakeFiles/sgms.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/sgms.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/sgms.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/sgms.dir/common/table.cc.o" "gcc" "src/CMakeFiles/sgms.dir/common/table.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/CMakeFiles/sgms.dir/common/units.cc.o" "gcc" "src/CMakeFiles/sgms.dir/common/units.cc.o.d"
+  "/root/repo/src/core/config_override.cc" "src/CMakeFiles/sgms.dir/core/config_override.cc.o" "gcc" "src/CMakeFiles/sgms.dir/core/config_override.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/sgms.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/sgms.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/json_report.cc" "src/CMakeFiles/sgms.dir/core/json_report.cc.o" "gcc" "src/CMakeFiles/sgms.dir/core/json_report.cc.o.d"
+  "/root/repo/src/core/sim_result.cc" "src/CMakeFiles/sgms.dir/core/sim_result.cc.o" "gcc" "src/CMakeFiles/sgms.dir/core/sim_result.cc.o.d"
+  "/root/repo/src/core/simulator.cc" "src/CMakeFiles/sgms.dir/core/simulator.cc.o" "gcc" "src/CMakeFiles/sgms.dir/core/simulator.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/CMakeFiles/sgms.dir/core/sweep.cc.o" "gcc" "src/CMakeFiles/sgms.dir/core/sweep.cc.o.d"
+  "/root/repo/src/gms/cluster_load.cc" "src/CMakeFiles/sgms.dir/gms/cluster_load.cc.o" "gcc" "src/CMakeFiles/sgms.dir/gms/cluster_load.cc.o.d"
+  "/root/repo/src/gms/gms.cc" "src/CMakeFiles/sgms.dir/gms/gms.cc.o" "gcc" "src/CMakeFiles/sgms.dir/gms/gms.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/sgms.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/sgms.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/CMakeFiles/sgms.dir/mem/replacement.cc.o" "gcc" "src/CMakeFiles/sgms.dir/mem/replacement.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/sgms.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/sgms.dir/mem/tlb.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/sgms.dir/net/network.cc.o" "gcc" "src/CMakeFiles/sgms.dir/net/network.cc.o.d"
+  "/root/repo/src/net/params.cc" "src/CMakeFiles/sgms.dir/net/params.cc.o" "gcc" "src/CMakeFiles/sgms.dir/net/params.cc.o.d"
+  "/root/repo/src/net/resource.cc" "src/CMakeFiles/sgms.dir/net/resource.cc.o" "gcc" "src/CMakeFiles/sgms.dir/net/resource.cc.o.d"
+  "/root/repo/src/policy/fetch_policy.cc" "src/CMakeFiles/sgms.dir/policy/fetch_policy.cc.o" "gcc" "src/CMakeFiles/sgms.dir/policy/fetch_policy.cc.o.d"
+  "/root/repo/src/trace/apps.cc" "src/CMakeFiles/sgms.dir/trace/apps.cc.o" "gcc" "src/CMakeFiles/sgms.dir/trace/apps.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/sgms.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/sgms.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/sgms.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/sgms.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/sgms.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/sgms.dir/trace/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gms_capacity_test.dir/gms_capacity_test.cc.o"
+  "CMakeFiles/gms_capacity_test.dir/gms_capacity_test.cc.o.d"
+  "gms_capacity_test"
+  "gms_capacity_test.pdb"
+  "gms_capacity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gms_capacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

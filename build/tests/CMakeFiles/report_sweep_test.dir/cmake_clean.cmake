@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_sweep_test.dir/report_sweep_test.cc.o"
+  "CMakeFiles/report_sweep_test.dir/report_sweep_test.cc.o.d"
+  "report_sweep_test"
+  "report_sweep_test.pdb"
+  "report_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_result_test.dir/sim_result_test.cc.o"
+  "CMakeFiles/sim_result_test.dir/sim_result_test.cc.o.d"
+  "sim_result_test"
+  "sim_result_test.pdb"
+  "sim_result_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

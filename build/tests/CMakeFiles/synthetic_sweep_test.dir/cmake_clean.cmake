@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_sweep_test.dir/synthetic_sweep_test.cc.o"
+  "CMakeFiles/synthetic_sweep_test.dir/synthetic_sweep_test.cc.o.d"
+  "synthetic_sweep_test"
+  "synthetic_sweep_test.pdb"
+  "synthetic_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

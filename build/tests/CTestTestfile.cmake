@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_capacity_test[1]_include.cmake")
+include("/root/repo/build/tests/gms_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/net_property_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/options_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/report_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_result_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+add_test(reproduction_test "/root/repo/build/tests/reproduction_test")
+set_tests_properties(reproduction_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;15;add_test;/root/repo/tests/CMakeLists.txt;0;")
