@@ -21,10 +21,12 @@
 
 #include "common/chart.h"
 #include "common/logging.h"
+#include "common/options.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/experiment.h"
+#include "obs/session.h"
 
 namespace sgms::bench
 {
@@ -52,6 +54,32 @@ inline SimResult
 run_labeled(const Experiment &ex)
 {
     SimResult r = ex.run();
+    std::fflush(stdout);
+    return r;
+}
+
+/**
+ * Observability wiring for a bench: parse --trace-out / --metrics /
+ * --debug-flags / ... from its command line.
+ */
+inline obs::ObsSession
+obs_session(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    return obs::ObsSession(opts);
+}
+
+/**
+ * Run one experiment under an observability session. The session's
+ * tracer is cleared first, so a --trace-out file always holds the
+ * spans of the most recent experiment of the bench.
+ */
+inline SimResult
+run_labeled(const Experiment &ex, const obs::ObsSession &obs)
+{
+    if (obs.tracer())
+        obs.tracer()->clear();
+    SimResult r = ex.run(obs);
     std::fflush(stdout);
     return r;
 }

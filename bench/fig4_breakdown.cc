@@ -15,8 +15,9 @@
 using namespace sgms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::ObsSession obs = bench::obs_session(argc, argv);
     double scale = scale_from_env(1.0);
     bench::banner("Figure 4",
                   "Modula-3 1/2-mem runtime components by subpage size",
@@ -27,7 +28,7 @@ main()
     ex.scale = scale;
     ex.mem = MemConfig::Half;
     ex.policy = "fullpage";
-    SimResult base = bench::run_labeled(ex);
+    SimResult base = bench::run_labeled(ex, obs);
 
     BarChart chart("runtime components (normalized to p_8192)", "");
     Table t({"config", "exec", "sp_latency", "page_wait", "other",
@@ -54,7 +55,7 @@ main()
     ex.policy = "eager";
     for (uint32_t sp : bench::paper_subpage_sizes()) {
         ex.subpage_size = sp;
-        add(ex.label(), bench::run_labeled(ex));
+        add(ex.label(), bench::run_labeled(ex, obs));
     }
 
     t.print(std::cout);

@@ -19,8 +19,9 @@
 using namespace sgms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::ObsSession obs = bench::obs_session(argc, argv);
     double scale = scale_from_env(1.0);
     bench::banner("Figure 5",
                   "sorted per-fault waiting times (Modula-3, 1/2-mem)",
@@ -40,7 +41,7 @@ main()
     auto run_one = [&](const std::string &policy, uint32_t sp) {
         ex.policy = policy;
         ex.subpage_size = sp;
-        SimResult r = bench::run_labeled(ex);
+        SimResult r = bench::run_labeled(ex, obs);
         std::vector<Tick> waits;
         waits.reserve(r.faults.size());
         for (const auto &f : r.faults)

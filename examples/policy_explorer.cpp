@@ -39,10 +39,11 @@ main(int argc, char **argv)
     Options opts(argc, argv);
     if (opts.has("help")) {
         std::printf("usage: policy_explorer [app] [policy] [subpage] "
-                    "[mem] [scale] [seed] [overrides]\n%s\n",
-                    config_override_help());
+                    "[mem] [scale] [seed] [overrides]\n%s\n%s\n",
+                    config_override_help(), obs::ObsSession::help());
         return 0;
     }
+    obs::ObsSession obs(opts);
     const auto &pos = opts.positional();
 
     Experiment ex;
@@ -75,7 +76,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(app_footprint_pages(
                     ex.app, ex.scale, ex.base.page_size)));
 
-    SimResult r = ex.run();
+    SimResult r = ex.run(obs);
 
     Table t({"metric", "value"});
     auto row = [&](const char *k, const std::string &v) {

@@ -12,16 +12,25 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common/options.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/simulator.h"
+#include "obs/session.h"
 #include "trace/synthetic.h"
 
 using namespace sgms;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options opts(argc, argv);
+    if (opts.has("help")) {
+        std::printf("usage: quickstart [flags]\n%s\n",
+                    obs::ObsSession::help());
+        return 0;
+    }
+    obs::ObsSession obs(opts);
     // 1. Describe a workload: a hot set plus two phases — a sweep
     //    that touches one subpage per page (overlappable faults) and
     //    a dense scan that consumes whole pages (blocking faults).
@@ -50,18 +59,25 @@ main()
     Table t({"config", "runtime", "faults", "sp_latency", "page_wait",
              "speedup vs disk"});
     SimResult disk_result;
+    SimResult last;
     for (const char *policy : {"disk", "fullpage", "eager"}) {
         SimConfig cfg;
         cfg.policy = policy;
         cfg.subpage_size =
             std::string(policy) == "eager" ? 1024 : 8192;
         cfg.mem_pages = 44; // half of the 88-page footprint
+        // The tracer is shared across the three configurations;
+        // keep only the final (eager) run's spans.
+        if (obs.tracer())
+            obs.tracer()->clear();
+        obs.configure(cfg);
 
         SyntheticTrace trace(spec, /*seed=*/42);
         Simulator sim(cfg);
         SimResult r = sim.run(trace);
         if (std::string(policy) == "disk")
             disk_result = r;
+        last = r;
 
         t.add_row({policy, format_ms(r.runtime),
                    Table::fmt_int(r.page_faults),
@@ -69,6 +85,7 @@ main()
                    Table::fmt(r.speedup_vs(disk_result), 2) + "x"});
     }
     t.print(std::cout);
+    obs.finish(last);
 
     std::printf("\nEager fullpage fetch restarts the program after "
                 "only the faulted 1K\nsubpage arrives (~0.55 ms) and "

@@ -10,6 +10,9 @@
  *   trace_tool sim <file> [policy] [subpage] [mem_pages]
  *                                                simulate a trace
  *
+ * `sim` also understands the observability flags (--trace-out,
+ * --trace-timeline, --metrics, --debug-flags; see obs/session.h).
+ *
  * Demonstrates the file-based TraceSource API, which is the hook for
  * feeding real (e.g. Valgrind/Pin-derived) traces into the
  * simulator in place of the synthetic application models.
@@ -21,9 +24,11 @@
 #include <iostream>
 #include <string>
 
+#include "common/options.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/simulator.h"
+#include "obs/session.h"
 #include "trace/apps.h"
 #include "trace/trace_file.h"
 
@@ -87,17 +92,24 @@ cmd_info(int argc, char **argv)
 int
 cmd_sim(int argc, char **argv)
 {
-    if (argc < 3)
+    Options opts(argc, argv);
+    obs::ObsSession obs(opts);
+    // positional()[0] is the subcommand ("sim") itself.
+    const auto &pos = opts.positional();
+    if (pos.size() < 2)
         fatal("usage: trace_tool sim <file> [policy] [subpage] "
-              "[mem_pages]");
-    FileTrace trace(argv[2]);
+              "[mem_pages] [obs flags]");
+    FileTrace trace(pos[1]);
     SimConfig cfg;
-    cfg.policy = argc > 3 ? argv[3] : "eager";
+    cfg.policy = pos.size() > 2 ? pos[2] : "eager";
     cfg.subpage_size =
-        argc > 4 ? static_cast<uint32_t>(parse_bytes(argv[4])) : 1024;
+        pos.size() > 3 ? static_cast<uint32_t>(parse_bytes(pos[3]))
+                       : 1024;
     if (cfg.policy == "fullpage" || cfg.policy == "disk")
         cfg.subpage_size = cfg.page_size;
-    cfg.mem_pages = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
+    cfg.mem_pages =
+        pos.size() > 4 ? std::strtoull(pos[4].c_str(), nullptr, 10) : 0;
+    obs.configure(cfg);
 
     Simulator sim(cfg);
     SimResult r = sim.run(trace);
@@ -110,6 +122,7 @@ cmd_sim(int argc, char **argv)
     t.add_row({"sp_latency", format_ms(r.sp_latency)});
     t.add_row({"page_wait", format_ms(r.page_wait)});
     t.print(std::cout);
+    obs.finish(r);
     return 0;
 }
 

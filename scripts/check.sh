@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a strict warnings pass.
+#
+#   scripts/check.sh          configure + build + ctest (tier 1),
+#                             then a -Wall -Wextra -Werror rebuild in
+#                             a separate tree (build-strict/)
+#   scripts/check.sh --quick  tier 1 only
+#
+# Exits non-zero on the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== tier 1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+
+echo "== tier 1: ctest =="
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== smoke: trace export =="
+tmp_trace="$(mktemp /tmp/sgms-trace.XXXXXX.json)"
+trap 'rm -f "$tmp_trace"' EXIT
+./build/examples/quickstart --trace-out="$tmp_trace" >/dev/null
+python3 - "$tmp_trace" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+cats = {e.get("cat") for e in events}
+want = {"fault", "page_wait", "block", "net", "gms", "policy"}
+missing = want - cats
+assert not missing, f"trace missing categories: {missing}"
+print(f"   {len(events)} events, all {len(want)} span categories present")
+EOF
+
+if [[ $quick -eq 0 ]]; then
+    echo "== strict: -Wall -Wextra -Werror rebuild =="
+    # -Wno-restrict: GCC 12 emits a false-positive -Wrestrict from
+    # std::string::operator=(const char*) at -O2 (GCC PR105329).
+    cmake -B build-strict -S . \
+        -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror -Wno-restrict" >/dev/null
+    cmake --build build-strict -j "$(nproc)"
+fi
+
+echo "== all checks passed =="

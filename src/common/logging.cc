@@ -1,5 +1,6 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,21 +9,31 @@ namespace sgms
 
 namespace
 {
-bool quiet_mode = false;
+// Atomic so the inform() fast path can check it without taking the
+// output lock; the lock still serializes the actual printing.
+std::atomic<bool> quiet_mode{false};
 
 void
 vreport(const char *level, const char *fmt, va_list ap)
 {
+    std::lock_guard<std::mutex> lock(log_mutex());
     std::fprintf(stderr, "%s: ", level);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
 }
 } // namespace
 
-void
+std::mutex &
+log_mutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+bool
 set_quiet(bool quiet)
 {
-    quiet_mode = quiet;
+    return quiet_mode.exchange(quiet);
 }
 
 void
@@ -57,7 +68,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quiet_mode)
+    if (quiet_mode.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);

@@ -13,6 +13,7 @@
 #define SGMS_COMMON_LOGGING_H
 
 #include <cstdarg>
+#include <mutex>
 
 namespace sgms
 {
@@ -31,8 +32,17 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print an informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Quiet mode suppresses inform() (benches use it for clean tables). */
-void set_quiet(bool quiet);
+/**
+ * Quiet mode suppresses inform() (benches use it for clean tables).
+ * Returns the previous setting so callers can restore it.
+ */
+bool set_quiet(bool quiet);
+
+/**
+ * The lock serializing all log output (also used by obs/debug.h's
+ * SGMS_DPRINTF), keeping concurrent lines atomic.
+ */
+std::mutex &log_mutex();
 
 /** Helper for SGMS_ASSERT; panics with file/line context. */
 [[noreturn]] void assert_fail(const char *expr, const char *file, int line);

@@ -90,6 +90,19 @@ Experiment::run() const
     return res;
 }
 
+SimResult
+Experiment::run(const obs::ObsSession &obs) const
+{
+    auto trace = make_app_trace(app, scale, seed);
+    SimConfig cfg = config();
+    obs.configure(cfg);
+    Simulator sim(cfg);
+    SimResult res = sim.run(*trace);
+    res.app = app;
+    obs.finish(res);
+    return res;
+}
+
 double
 scale_from_env(double fallback)
 {

@@ -16,6 +16,7 @@
 #include "core/sim_config.h"
 #include "core/sim_result.h"
 #include "core/simulator.h"
+#include "obs/session.h"
 #include "trace/apps.h"
 
 namespace sgms
@@ -71,6 +72,13 @@ struct Experiment
 
     /** Run it. */
     SimResult run() const;
+
+    /**
+     * Run it under an observability session: the session's tracer is
+     * attached for the run and its end-of-run reporting (metrics
+     * table, fault timeline, trace file) fires before returning.
+     */
+    SimResult run(const obs::ObsSession &obs) const;
 };
 
 /**

@@ -87,6 +87,9 @@ write_result_json(std::ostream &os, const SimResult &r,
     field_ms(os, "comp_overlap", r.comp_overlap);
     field(os, "net_messages", r.net_stats.messages);
     field(os, "net_bytes", r.net_stats.bytes);
+    os << "\"metrics\":";
+    obs::write_metrics_json(os, r.metrics);
+    os << ",";
     os << "\"distance_histogram\":{";
     bool first = true;
     for (const auto &[d, c] : r.next_subpage_distance.bins()) {

@@ -19,6 +19,11 @@
 namespace sgms
 {
 
+namespace obs
+{
+class Tracer;
+} // namespace obs
+
 /** Everything that parameterizes a Simulator run. */
 struct SimConfig
 {
@@ -83,6 +88,14 @@ struct SimConfig
 
     /** Optional capture of component busy spans (Figure 2). */
     TimelineRecorder *timeline = nullptr;
+
+    /**
+     * Optional span tracer (obs/tracer.h): records fault, network-
+     * stage, GMS, and block spans in simulated time for Chrome-trace
+     * export. Null disables tracing (the default; instrumentation
+     * then costs one pointer test per site).
+     */
+    obs::Tracer *tracer = nullptr;
 };
 
 } // namespace sgms

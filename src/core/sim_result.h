@@ -20,6 +20,7 @@
 #include "common/types.h"
 #include "mem/tlb.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 
 namespace sgms
 {
@@ -81,6 +82,14 @@ struct SimResult
     NetStats net_stats;
     TlbStats tlb_stats;
     uint64_t global_discards = 0; ///< pages dropped from global memory
+
+    /**
+     * Uniform end-of-run snapshot of every metric the run's
+     * components registered (obs/metrics.h), name-sorted. The named
+     * fields above remain the stable accessors; this carries the
+     * full "<module>.<name>" registry into reports and JSON.
+     */
+    std::vector<obs::MetricSample> metrics;
 
     // Resource occupancy (ticks busy over the run), for utilization
     // analysis: the requester's inbound link is the usual bottleneck.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/debug.h"
 
 namespace sgms
 {
@@ -22,12 +23,20 @@ Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg))
 }
 
 Simulator::Run::Run(const SimConfig &cfg)
-    : net(eq, cfg.net, /*requester=*/0, cfg.timeline),
-      gms(net, cfg.gms, /*requester=*/0),
+    : tracer(cfg.tracer),
+      net(eq, cfg.net, /*requester=*/0, cfg.timeline, cfg.tracer,
+          &metrics),
+      gms(net, cfg.gms, /*requester=*/0, cfg.tracer, &metrics),
       geo(cfg.page_size, cfg.subpage_size),
       pt(geo, cfg.mem_pages, cfg.replacement),
-      policy(make_fetch_policy(cfg.policy)), pal(cfg.pal)
+      policy(make_fetch_policy(cfg.policy, &metrics)), pal(cfg.pal),
+      c_page_faults(&metrics.counter("sim.page_faults")),
+      c_subpage_faults(&metrics.counter("sim.lazy_subpage_faults")),
+      c_evictions(&metrics.counter("gms.evictions")),
+      c_disk_faults(&metrics.counter("sim.disk_faults")),
+      d_fault_wait(&metrics.distribution("sim.fault_wait_ns"))
 {
+    pal.bind_metrics(metrics);
     if (cfg.tlb_enabled)
         tlb = std::make_unique<Tlb>(cfg.tlb_entries, cfg.tlb_assoc,
                                     cfg.page_size);
@@ -73,6 +82,11 @@ Simulator::wait_until(Run &r, const std::function<bool()> &pred)
     r.total_blocked += waited;
     // Anything that arrived while blocked cannot also steal CPU.
     r.pending_steal = 0;
+    if (waited > 0) {
+        SGMS_TRACE_SPAN(r.tracer, Block, "blocked", "program", start,
+                        r.now, r.wait_seq++,
+                        static_cast<int64_t>(r.ref_index), 0);
+    }
     return waited;
 }
 
@@ -87,6 +101,11 @@ Simulator::disk_wait(Run &r, Tick latency)
     r.blocked = false;
     r.total_blocked += latency;
     r.pending_steal = 0;
+    if (latency > 0) {
+        SGMS_TRACE_SPAN(r.tracer, Block, "disk", "program",
+                        target - latency, target, r.wait_seq++,
+                        static_cast<int64_t>(r.ref_index), 0);
+    }
 }
 
 void
@@ -189,15 +208,25 @@ void
 Simulator::handle_page_fault(Run &r, PageId page, const TraceEvent &ev)
 {
     ++r.res.page_faults;
+    r.c_page_faults->inc();
     if (cfg_.record_faults) {
         r.res.clustering.add(static_cast<double>(r.ref_index),
                              static_cast<double>(r.res.page_faults));
     }
+    SGMS_DPRINTF(Sim, "page fault #%llu on page %llu at ref %llu",
+                 static_cast<unsigned long long>(r.res.page_faults),
+                 static_cast<unsigned long long>(page),
+                 static_cast<unsigned long long>(r.ref_index));
 
     // Make room, shipping the victim to global memory.
     if (r.pt.full()) {
         PageTable::Frame victim_state;
         PageId victim = r.pt.evict(&victim_state);
+        r.c_evictions->inc();
+        SGMS_TRACE_INSTANT(r.tracer, Gms, "evict", "gms", r.now,
+                           static_cast<int64_t>(victim),
+                           static_cast<int64_t>(cfg_.page_size),
+                           static_cast<int64_t>(r.gms.server_of(victim)));
         r.gms.put_page(r.now, victim, cfg_.page_size,
                        victim_state.dirty);
     }
@@ -218,13 +247,24 @@ Simulator::handle_page_fault(Run &r, PageId page, const TraceEvent &ev)
 
     FetchPlan plan =
         r.policy->plan(r.geo, sp, byte_in_sub, missing);
+    SGMS_TRACE_INSTANT(r.tracer, Policy, "plan", "policy", r.now,
+                       static_cast<int64_t>(fault_id),
+                       static_cast<int64_t>(plan.segments.size()),
+                       static_cast<int64_t>(plan.total_bytes()));
     if (plan.from_disk || !r.gms.in_global_memory(page)) {
         Tick lat = cfg_.disk.access_latency(cfg_.page_size);
+        r.c_disk_faults->inc();
         disk_wait(r, lat);
         r.res.sp_latency += lat;
         rec.sp_wait = lat;
         rec.from_disk = true;
         r.pt.mark_all_valid(page);
+        r.d_fault_wait->add(ticks::to_ns(lat));
+        SGMS_TRACE_SPAN(r.tracer, Fault, "demand", "fault",
+                        r.now - lat, r.now,
+                        static_cast<int64_t>(fault_id),
+                        static_cast<int64_t>(page),
+                        static_cast<int64_t>(cfg_.page_size));
     } else {
         issue_transfers(r, page, fault_id, plan);
         Tick waited = wait_until(r, [&r, page, sp] {
@@ -233,6 +273,12 @@ Simulator::handle_page_fault(Run &r, PageId page, const TraceEvent &ev)
         });
         r.res.sp_latency += waited;
         rec.sp_wait = waited;
+        r.d_fault_wait->add(ticks::to_ns(waited));
+        SGMS_TRACE_SPAN(r.tracer, Fault, "demand", "fault",
+                        r.now - waited, r.now,
+                        static_cast<int64_t>(fault_id),
+                        static_cast<int64_t>(page),
+                        static_cast<int64_t>(plan.segments[0].bytes));
     }
 
     // Start watching for the next access to a different subpage
@@ -258,21 +304,34 @@ Simulator::handle_subpage_fault(Run &r, PageId page,
     // Only the lazy policy leaves resident pages with missing,
     // not-in-flight subpages.
     ++r.res.lazy_subpage_faults;
+    r.c_subpage_faults->inc();
 
     SubpageIndex sp = r.geo.subpage_of(ev.addr);
     uint32_t byte_in_sub = ev.addr & (cfg_.subpage_size - 1);
     uint64_t missing = ~frame.valid.raw();
     if (r.geo.subpages_per_page() < 64)
         missing &= (1ULL << r.geo.subpages_per_page()) - 1;
+    SGMS_DPRINTF(Sim, "subpage fault on page %llu subpage %u at ref %llu",
+                 static_cast<unsigned long long>(page), sp,
+                 static_cast<unsigned long long>(r.ref_index));
 
     FetchPlan plan = r.policy->plan(r.geo, sp, byte_in_sub, missing);
     SGMS_ASSERT(!plan.from_disk);
+    SGMS_TRACE_INSTANT(r.tracer, Policy, "plan", "policy", r.now,
+                       static_cast<int64_t>(frame.fault_id),
+                       static_cast<int64_t>(plan.segments.size()),
+                       static_cast<int64_t>(plan.total_bytes()));
     issue_transfers(r, page, frame.fault_id, plan);
     Tick waited = wait_until(r, [&r, page, sp] {
         PageTable::Frame *f = r.pt.find(page);
         return f && f->valid.test(sp);
     });
     r.res.sp_latency += waited;
+    r.d_fault_wait->add(ticks::to_ns(waited));
+    SGMS_TRACE_SPAN(r.tracer, Fault, "demand", "fault", r.now - waited,
+                    r.now, static_cast<int64_t>(frame.fault_id),
+                    static_cast<int64_t>(page),
+                    static_cast<int64_t>(plan.segments[0].bytes));
     if (frame.fault_id < r.res.faults.size())
         r.res.faults[frame.fault_id].page_wait += waited;
 }
@@ -340,6 +399,12 @@ Simulator::run(TraceSource &trace)
                                 return f && f->valid.test(sp);
                             });
                         r.res.page_wait += waited;
+                        SGMS_TRACE_SPAN(r.tracer, PageWait,
+                                        "page_wait", "fault",
+                                        r.now - waited, r.now,
+                                        static_cast<int64_t>(fid),
+                                        static_cast<int64_t>(page),
+                                        static_cast<int64_t>(sp));
                         if (fid < r.res.faults.size())
                             r.res.faults[fid].page_wait += waited;
                     } else {
@@ -382,6 +447,31 @@ Simulator::run(TraceSource &trace)
     if (r.tlb)
         r.res.tlb_stats = r.tlb->stats();
     r.res.emulated_accesses = r.pal.emulated();
+
+    // End-of-run gauges (times in ns; utilizations as fractions),
+    // then freeze the whole registry into the result.
+    double runtime_ns = ticks::to_ns(r.now);
+    r.metrics.gauge("sim.runtime_ns").set(runtime_ns);
+    r.metrics.gauge("sim.exec_ns").set(ticks::to_ns(r.res.exec_time));
+    r.metrics.gauge("sim.blocked_ns").set(ticks::to_ns(r.total_blocked));
+    r.metrics.gauge("sim.sp_latency_ns")
+        .set(ticks::to_ns(r.res.sp_latency));
+    if (r.now > 0) {
+        r.metrics.gauge("net.wire_busy")
+            .set(static_cast<double>(r.res.requester_wire_busy) /
+                 static_cast<double>(r.now));
+        r.metrics.gauge("net.req_dma_busy")
+            .set(static_cast<double>(r.res.requester_dma_busy) /
+                 static_cast<double>(r.now));
+        r.metrics.gauge("net.req_cpu_busy")
+            .set(static_cast<double>(r.res.requester_cpu_busy) /
+                 static_cast<double>(r.now));
+    }
+    if (r.tlb) {
+        r.metrics.counter("tlb.hits").inc(r.res.tlb_stats.hits);
+        r.metrics.counter("tlb.misses").inc(r.res.tlb_stats.misses);
+    }
+    r.res.metrics = r.metrics.snapshot();
     return r.res;
 }
 

@@ -25,6 +25,8 @@
 #include "mem/page_table.h"
 #include "mem/tlb.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "policy/fetch_policy.h"
 #include "proto/palcode.h"
 #include "sim/event_queue.h"
@@ -50,6 +52,11 @@ class Simulator
     {
         Run(const SimConfig &cfg);
 
+        // Declared before the components below, which register their
+        // counters with it during construction.
+        obs::MetricsRegistry metrics;
+        obs::Tracer *tracer;
+
         EventQueue eq;
         Network net;
         GmsCluster gms;
@@ -60,8 +67,17 @@ class Simulator
         std::unique_ptr<Tlb> tlb;
         std::unique_ptr<ClusterLoad> cluster_load;
 
+        // Simulator-owned counters/distributions (bound once here so
+        // the per-fault paths skip the registry's name lookup).
+        obs::Counter *c_page_faults;
+        obs::Counter *c_subpage_faults;
+        obs::Counter *c_evictions;
+        obs::Counter *c_disk_faults;
+        obs::Distribution *d_fault_wait;
+
         Tick now = 0;
         uint64_t ref_index = 0;
+        uint64_t wait_seq = 0;
 
         // Blocking bookkeeping (for overlap attribution).
         bool blocked = false;

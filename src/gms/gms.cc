@@ -1,5 +1,7 @@
 #include "gms/gms.h"
 
+#include "obs/debug.h"
+
 namespace sgms
 {
 
@@ -16,11 +18,27 @@ GmsCluster::put_page(Tick now, PageId page, uint32_t page_bytes,
             store.fifo.pop_front();
             evicted_.erase(dropped);
             ++discards_;
+            if (c_discards_)
+                c_discards_->inc();
+            SGMS_DPRINTF(Gms, "server %u full, discarding page %llu",
+                         server_of(dropped),
+                         static_cast<unsigned long long>(dropped));
+            SGMS_TRACE_INSTANT(tracer_, Gms, "discard", "gms", now,
+                               dropped, 0,
+                               static_cast<int64_t>(server_of(dropped)));
         }
     }
     if (!cfg_.putpage_traffic || !dirty)
         return;
     ++putpages_;
+    if (c_putpages_)
+        c_putpages_->inc();
+    SGMS_DPRINTF(Gms, "putpage page %llu -> server %u (%u bytes)",
+                 static_cast<unsigned long long>(page), server_of(page),
+                 page_bytes);
+    SGMS_TRACE_INSTANT(tracer_, Gms, "putpage", "gms", now, page,
+                       static_cast<int64_t>(page_bytes),
+                       static_cast<int64_t>(server_of(page)));
     net_.send(now, {requester_, server_of(page), page_bytes,
                     MsgKind::PutPage, false, nullptr});
 }

@@ -19,6 +19,8 @@
 
 #include "common/types.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace sgms
 {
@@ -62,12 +64,20 @@ class GmsCluster
      * @param cfg       cluster configuration
      * @param requester node id of the faulting (traced) node;
      *                  servers get ids requester+1 ... requester+N
+     * @param tracer    optional span tracer (putpage/discard events)
+     * @param metrics   optional registry for gms.* counters
      */
-    GmsCluster(Network &net, GmsConfig cfg, NodeId requester = 0)
-        : net_(net), cfg_(cfg), requester_(requester)
+    GmsCluster(Network &net, GmsConfig cfg, NodeId requester = 0,
+               obs::Tracer *tracer = nullptr,
+               obs::MetricsRegistry *metrics = nullptr)
+        : net_(net), cfg_(cfg), requester_(requester), tracer_(tracer)
     {
         if (cfg_.servers == 0)
             fatal("gms: need at least one server node");
+        if (metrics) {
+            c_putpages_ = &metrics->counter("gms.putpages");
+            c_discards_ = &metrics->counter("gms.global_discards");
+        }
     }
 
     /** Node storing @p page's global copy (stable hash placement). */
@@ -124,6 +134,9 @@ class GmsCluster
     Network &net_;
     GmsConfig cfg_;
     NodeId requester_;
+    obs::Tracer *tracer_ = nullptr;
+    obs::Counter *c_putpages_ = nullptr;
+    obs::Counter *c_discards_ = nullptr;
     uint64_t putpages_ = 0;
     uint64_t discards_ = 0;
     std::unordered_set<PageId> evicted_;

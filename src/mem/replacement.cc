@@ -1,6 +1,7 @@
 #include "mem/replacement.h"
 
 #include "common/logging.h"
+#include "obs/debug.h"
 
 namespace sgms
 {
@@ -77,6 +78,8 @@ LruPolicy::victim()
     order_.pop_back();
     drop_iter(page);
     --size_;
+    SGMS_DPRINTF(Mem, "lru: evict page %llu",
+                 static_cast<unsigned long long>(page));
     return page;
 }
 
@@ -104,6 +107,8 @@ FifoPolicy::victim()
     PageId page = order_.front();
     order_.pop_front();
     map_.erase(page);
+    SGMS_DPRINTF(Mem, "fifo: evict page %llu",
+                 static_cast<unsigned long long>(page));
     return page;
 }
 
@@ -161,6 +166,8 @@ ClockPolicy::victim()
         e.valid = false;
         map_.erase(e.page);
         --live_;
+        SGMS_DPRINTF(Mem, "clock: evict page %llu",
+                     static_cast<unsigned long long>(e.page));
         return e.page;
     }
 }

@@ -1,7 +1,29 @@
 #include "net/network.h"
 
+#include "obs/debug.h"
+
 namespace sgms
 {
+
+Network::Network(EventQueue &eq, NetParams params, NodeId requester,
+                 TimelineRecorder *recorder, obs::Tracer *tracer,
+                 obs::MetricsRegistry *metrics)
+    : eq_(eq), params_(params), requester_(requester),
+      recorder_(recorder), tracer_(tracer)
+{
+    if (metrics) {
+        c_messages_ = &metrics->counter("net.messages");
+        c_bytes_ = &metrics->counter("net.bytes");
+        c_by_kind_[static_cast<int>(MsgKind::Request)] =
+            &metrics->counter("net.request_messages");
+        c_by_kind_[static_cast<int>(MsgKind::DemandData)] =
+            &metrics->counter("net.demand_messages");
+        c_by_kind_[static_cast<int>(MsgKind::BackgroundData)] =
+            &metrics->counter("net.background_messages");
+        c_by_kind_[static_cast<int>(MsgKind::PutPage)] =
+            &metrics->counter("net.putpage_messages");
+    }
+}
 
 StageResource &
 Network::cpu(NodeId node)
@@ -11,7 +33,8 @@ Network::cpu(NodeId node)
         Component comp = node == requester_ ? Component::ReqCpu
                                             : Component::SrvCpu;
         slot = std::make_unique<StageResource>(
-            eq_, comp, node, recorder_, params_.preemptive_demand);
+            eq_, comp, node, recorder_, params_.preemptive_demand,
+            tracer_);
     }
     return *slot;
 }
@@ -24,7 +47,8 @@ Network::dma(NodeId node)
         Component comp = node == requester_ ? Component::ReqDma
                                             : Component::SrvDma;
         slot = std::make_unique<StageResource>(
-            eq_, comp, node, recorder_, params_.preemptive_demand);
+            eq_, comp, node, recorder_, params_.preemptive_demand,
+            tracer_);
     }
     return *slot;
 }
@@ -36,7 +60,7 @@ Network::wire_to(NodeId node)
     if (!slot) {
         slot = std::make_unique<StageResource>(
             eq_, Component::Wire, node, recorder_,
-            params_.preemptive_demand);
+            params_.preemptive_demand, tracer_);
     }
     return *slot;
 }
@@ -145,6 +169,15 @@ Network::send(Tick now, SendArgs args)
     stats_.bytes += args.bytes;
     ++stats_.messages_by_kind[static_cast<int>(args.kind)];
     stats_.bytes_by_kind[static_cast<int>(args.kind)] += args.bytes;
+    if (c_messages_) {
+        c_messages_->inc();
+        c_bytes_->inc(args.bytes);
+        c_by_kind_[static_cast<int>(args.kind)]->inc();
+    }
+    SGMS_DPRINTF(Net, "inject msg %llu %s %u->%u %u bytes",
+                 static_cast<unsigned long long>(id),
+                 msg_kind_name(args.kind), args.src, args.dst,
+                 args.bytes);
 
     auto m = std::make_shared<MsgState>();
     m->id = id;

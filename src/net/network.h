@@ -22,6 +22,8 @@
 #include "net/params.h"
 #include "net/resource.h"
 #include "net/timeline.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 
 namespace sgms
@@ -64,12 +66,13 @@ class Network
      * @param requester node the traced program runs on (used only to
      *                  label components in timeline capture)
      * @param recorder  optional Figure-2 timeline capture
+     * @param tracer    optional span tracer (per-stage Net spans)
+     * @param metrics   optional registry for net.* counters
      */
     Network(EventQueue &eq, NetParams params, NodeId requester = 0,
-            TimelineRecorder *recorder = nullptr)
-        : eq_(eq), params_(params), requester_(requester),
-          recorder_(recorder)
-    {}
+            TimelineRecorder *recorder = nullptr,
+            obs::Tracer *tracer = nullptr,
+            obs::MetricsRegistry *metrics = nullptr);
 
     /** Inject a message at simulated time @p now; returns its id. */
     uint64_t send(Tick now, SendArgs args);
@@ -93,8 +96,14 @@ class Network
     NetParams params_;
     NodeId requester_;
     TimelineRecorder *recorder_;
+    obs::Tracer *tracer_ = nullptr;
     NetStats stats_;
     uint64_t next_msg_id_ = 1;
+
+    // Registered metrics (null when no registry was attached).
+    obs::Counter *c_messages_ = nullptr;
+    obs::Counter *c_bytes_ = nullptr;
+    obs::Counter *c_by_kind_[4] = {nullptr, nullptr, nullptr, nullptr};
 
     std::map<NodeId, std::unique_ptr<StageResource>> cpus_;
     std::map<NodeId, std::unique_ptr<StageResource>> dmas_;

@@ -63,6 +63,14 @@ StageResource::start(Tick now, Item item)
             recorder_->record(comp_, node_, cur_msg_id_, cur_kind_,
                               end - duration, end);
         }
+        if (duration > 0) {
+            // One Net span per stage occupancy: the track is the
+            // pipeline component, the name the message kind.
+            SGMS_TRACE_SPAN(tracer_, Net, msg_kind_name(cur_kind_),
+                            component_name(comp_), end - duration, end,
+                            cur_msg_id_, static_cast<int64_t>(node_),
+                            static_cast<int64_t>(cur_kind_));
+        }
         Done done = std::move(cur_done_);
         done(end - duration, end);
         // The completion callback may have submitted new work and

@@ -21,6 +21,7 @@
 #include "common/types.h"
 #include "net/params.h"
 #include "net/timeline.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 
 namespace sgms
@@ -40,9 +41,10 @@ class StageResource
      *        remainder is requeued.
      */
     StageResource(EventQueue &eq, Component comp, NodeId node,
-                  TimelineRecorder *recorder, bool preemption = false)
+                  TimelineRecorder *recorder, bool preemption = false,
+                  obs::Tracer *tracer = nullptr)
         : eq_(eq), comp_(comp), node_(node), recorder_(recorder),
-          preemption_(preemption)
+          tracer_(tracer), preemption_(preemption)
     {}
 
     /**
@@ -103,6 +105,7 @@ class StageResource
     Component comp_;
     NodeId node_;
     TimelineRecorder *recorder_;
+    obs::Tracer *tracer_;
     bool preemption_;
 
     bool busy_ = false;

@@ -1,0 +1,111 @@
+#include "obs/debug.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace sgms::obs
+{
+
+namespace
+{
+uint32_t enabled_mask = 0;
+
+bool
+iequals(const std::string &a, const std::string &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+} // namespace
+
+const std::vector<std::pair<std::string, DebugFlag>> &
+debug_flag_table()
+{
+    static const std::vector<std::pair<std::string, DebugFlag>> table = {
+        {"Net", DebugFlag::Net},       {"Gms", DebugFlag::Gms},
+        {"Policy", DebugFlag::Policy}, {"Tlb", DebugFlag::Tlb},
+        {"Sim", DebugFlag::Sim},       {"Mem", DebugFlag::Mem},
+    };
+    return table;
+}
+
+uint32_t
+set_debug_flags(uint32_t mask)
+{
+    uint32_t prev = enabled_mask;
+    enabled_mask = mask;
+    return prev;
+}
+
+uint32_t
+debug_flags()
+{
+    return enabled_mask;
+}
+
+uint32_t
+parse_debug_flags(const std::string &list)
+{
+    uint32_t mask = 0;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string name = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        while (!name.empty() &&
+               std::isspace(static_cast<unsigned char>(name.front())))
+            name.erase(name.begin());
+        while (!name.empty() &&
+               std::isspace(static_cast<unsigned char>(name.back())))
+            name.pop_back();
+        if (name.empty())
+            continue;
+        if (iequals(name, "all")) {
+            for (const auto &[_, flag] : debug_flag_table())
+                mask |= static_cast<uint32_t>(flag);
+            continue;
+        }
+        bool found = false;
+        for (const auto &[known, flag] : debug_flag_table()) {
+            if (iequals(name, known)) {
+                mask |= static_cast<uint32_t>(flag);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::string known;
+            for (const auto &[n, _] : debug_flag_table())
+                known += known.empty() ? n : "," + n;
+            fatal("unknown debug flag '%s' (known: %s,all)",
+                  name.c_str(), known.c_str());
+        }
+    }
+    return mask;
+}
+
+void
+debug_printf(const char *flag_name, const char *fmt, ...)
+{
+    std::lock_guard<std::mutex> lock(log_mutex());
+    std::fprintf(stderr, "%s: ", flag_name);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace sgms::obs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * gem5-style per-module debug logging.
+ *
+ * Modules print through SGMS_DPRINTF(Flag, fmt, ...); output appears
+ * only when the flag is enabled, via set_debug_flags() /
+ * parse_debug_flags("Net,Gms") (wired to --debug-flags and the
+ * SGMS_DEBUG environment variable by obs::ObsSession). Lines are
+ * prefixed with the flag name and serialized with the logging lock,
+ * so interleaved module output stays line-atomic.
+ */
+
+#ifndef SGMS_OBS_DEBUG_H
+#define SGMS_OBS_DEBUG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sgms::obs
+{
+
+/** One bit per instrumented module. */
+enum class DebugFlag : uint32_t
+{
+    Net = 1u << 0,    ///< network stages, message injection
+    Gms = 1u << 1,    ///< global memory: putpage, discard
+    Policy = 1u << 2, ///< fetch-plan construction
+    Tlb = 1u << 3,    ///< TLB and PALcode emulation
+    Sim = 1u << 4,    ///< simulator core: faults, evictions, waits
+    Mem = 1u << 5,    ///< page table and replacement
+};
+
+/** Every known flag, for parsing and help text. */
+const std::vector<std::pair<std::string, DebugFlag>> &debug_flag_table();
+
+/** Replace the enabled-flag mask; returns the previous mask. */
+uint32_t set_debug_flags(uint32_t mask);
+
+/** Currently enabled mask. */
+uint32_t debug_flags();
+
+/**
+ * Parse a comma-separated flag list ("Net,Gms", case-insensitive;
+ * "all" enables everything). fatal() on an unknown name.
+ */
+uint32_t parse_debug_flags(const std::string &list);
+
+inline bool
+debug_enabled(DebugFlag f)
+{
+    return debug_flags() & static_cast<uint32_t>(f);
+}
+
+/** Implementation of SGMS_DPRINTF; do not call directly. */
+void debug_printf(const char *flag_name, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace sgms::obs
+
+/**
+ * Print when debug flag @p flag is enabled. The flag test is inline
+ * and the mask is a plain word, so a disabled flag costs one load
+ * and branch.
+ */
+#define SGMS_DPRINTF(flag, ...)                                         \
+    do {                                                                \
+        if (::sgms::obs::debug_enabled(::sgms::obs::DebugFlag::flag))   \
+            ::sgms::obs::debug_printf(#flag, __VA_ARGS__);              \
+    } while (0)
+
+#endif // SGMS_OBS_DEBUG_H

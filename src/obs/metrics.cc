@@ -1,0 +1,171 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace sgms::obs
+{
+
+const char *
+metric_kind_name(MetricKind k)
+{
+    switch (k) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Distribution:
+        return "distribution";
+    }
+    return "?";
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::find_or_create(const std::string &name, MetricKind kind)
+{
+    auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+        if (it->second.kind != kind) {
+            fatal("metric '%s' registered as %s and %s", name.c_str(),
+                  metric_kind_name(it->second.kind),
+                  metric_kind_name(kind));
+        }
+        return it->second;
+    }
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case MetricKind::Counter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::Gauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::Distribution:
+        e.dist = std::make_unique<Distribution>();
+        break;
+    }
+    return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return *find_or_create(name, MetricKind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return *find_or_create(name, MetricKind::Gauge).gauge;
+}
+
+Distribution &
+MetricsRegistry::distribution(const std::string &name)
+{
+    return *find_or_create(name, MetricKind::Distribution).dist;
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshot() const
+{
+    std::vector<MetricSample> out;
+    out.reserve(metrics_.size());
+    for (const auto &[name, e] : metrics_) {
+        MetricSample s;
+        s.name = name;
+        s.kind = e.kind;
+        switch (e.kind) {
+          case MetricKind::Counter:
+            s.value = static_cast<double>(e.counter->value());
+            break;
+          case MetricKind::Gauge:
+            s.value = e.gauge->value();
+            break;
+          case MetricKind::Distribution: {
+            const Accumulator &a = e.dist->stats();
+            s.value = a.sum();
+            s.count = a.count();
+            s.mean = a.mean();
+            s.min = a.min();
+            s.max = a.max();
+            break;
+          }
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+MetricsRegistry::print(std::ostream &os) const
+{
+    print_metrics(os, snapshot());
+}
+
+namespace
+{
+
+std::string
+fmt_value(double v)
+{
+    char buf[64];
+    if (v == static_cast<double>(static_cast<int64_t>(v)))
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    else
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+print_metrics(std::ostream &os, const std::vector<MetricSample> &samples)
+{
+    Table t({"metric", "kind", "value", "count", "mean", "min", "max"});
+    for (const auto &s : samples) {
+        if (s.kind == MetricKind::Distribution) {
+            t.add_row({s.name, metric_kind_name(s.kind),
+                       fmt_value(s.value), Table::fmt_int(s.count),
+                       fmt_value(s.mean), fmt_value(s.min),
+                       fmt_value(s.max)});
+        } else {
+            t.add_row({s.name, metric_kind_name(s.kind),
+                       fmt_value(s.value), "", "", "", ""});
+        }
+    }
+    t.print(os);
+}
+
+void
+write_metrics_json(std::ostream &os,
+                   const std::vector<MetricSample> &samples)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &s : samples) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << s.name << "\":";
+        if (s.kind == MetricKind::Distribution) {
+            char buf[256];
+            std::snprintf(buf, sizeof(buf),
+                          "{\"count\":%llu,\"sum\":%.9g,\"mean\":%.9g,"
+                          "\"min\":%.9g,\"max\":%.9g}",
+                          static_cast<unsigned long long>(s.count),
+                          s.value, s.mean, s.min, s.max);
+            os << buf;
+        } else {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.9g", s.value);
+            os << buf;
+        }
+    }
+    os << "}";
+}
+
+} // namespace sgms::obs

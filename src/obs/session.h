@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Observability session: one-stop CLI wiring for tracing, metrics,
+ * and debug output.
+ *
+ * Examples and benches construct an ObsSession from their parsed
+ * Options, call configure() on the SimConfig they are about to run,
+ * and finish() with the result. The session owns the span Tracer and
+ * understands these flags:
+ *
+ *   --trace-out=PATH      write a Chrome trace_event JSON file
+ *   --trace-spans=N       tracer ring capacity (default 1M spans)
+ *   --trace-timeline[=N]  print a per-fault timeline (first N faults)
+ *   --metrics             print the metrics table after the run
+ *   --debug-flags=A,B     enable SGMS_DPRINTF modules (Net, Gms,
+ *                         Policy, Tlb, Sim, Mem, or "all")
+ *
+ * The SGMS_DEBUG environment variable is an alternative spelling of
+ * --debug-flags (the flag wins when both are given).
+ */
+
+#ifndef SGMS_OBS_SESSION_H
+#define SGMS_OBS_SESSION_H
+
+#include <memory>
+#include <string>
+
+#include "common/options.h"
+#include "obs/tracer.h"
+
+namespace sgms
+{
+
+struct SimConfig;
+struct SimResult;
+
+namespace obs
+{
+
+class ObsSession
+{
+  public:
+    /** No tracing, no metrics printing; debug flags still honor
+     *  SGMS_DEBUG. */
+    ObsSession();
+
+    /** Parse the observability flags out of @p opts. */
+    explicit ObsSession(const Options &opts);
+
+    /** Point @p cfg at the session's tracer (if tracing is on). */
+    void configure(SimConfig &cfg) const;
+
+    /**
+     * End-of-run reporting: print the metrics table and/or fault
+     * timeline to stdout and write the Chrome trace file, as
+     * requested by the flags.
+     */
+    void finish(const SimResult &res) const;
+
+    bool tracing() const { return tracer_ != nullptr; }
+    Tracer *tracer() const { return tracer_.get(); }
+    bool metrics_requested() const { return metrics_; }
+    const std::string &trace_path() const { return trace_path_; }
+
+    /** Help text for the flags above (for --help output). */
+    static const char *help();
+
+  private:
+    std::unique_ptr<Tracer> tracer_;
+    std::string trace_path_;
+    bool metrics_ = false;
+    bool timeline_ = false;
+    uint64_t timeline_faults_ = 0;
+};
+
+} // namespace obs
+} // namespace sgms
+
+#endif // SGMS_OBS_SESSION_H

@@ -1,0 +1,59 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sgms::obs
+{
+
+const char *
+span_category_name(SpanCategory c)
+{
+    switch (c) {
+      case SpanCategory::Fault:
+        return "fault";
+      case SpanCategory::PageWait:
+        return "page_wait";
+      case SpanCategory::Block:
+        return "block";
+      case SpanCategory::Net:
+        return "net";
+      case SpanCategory::Gms:
+        return "gms";
+      case SpanCategory::Policy:
+        return "policy";
+    }
+    return "?";
+}
+
+Tracer::Tracer(size_t capacity)
+{
+    if (capacity == 0)
+        fatal("tracer: capacity must be >= 1");
+    ring_.resize(capacity);
+}
+
+std::vector<Span>
+Tracer::spans() const
+{
+    std::vector<Span> out;
+    out.reserve(size_);
+    // Oldest first: when the ring has wrapped, the oldest entry is
+    // at next_ (the slot about to be overwritten).
+    size_t begin = size_ < ring_.size() ? 0 : next_;
+    for (size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(begin + i) % ring_.size()]);
+    return out;
+}
+
+void
+Tracer::clear()
+{
+    next_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    std::fill(std::begin(count_by_cat_), std::end(count_by_cat_), 0);
+}
+
+} // namespace sgms::obs

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Low-overhead span tracing in simulated time.
+ *
+ * The Tracer records typed spans — fault lifetimes, per-message
+ * network stage occupancies, GMS putpage/eviction activity, and
+ * program block intervals — into a bounded ring buffer. Spans carry
+ * simulated (not wall-clock) timestamps, so an exported trace is the
+ * run's Figure-2 timeline at full resolution.
+ *
+ * Cost model: every instrumentation site goes through the
+ * SGMS_TRACE_* macros, which compile to nothing when SGMS_OBS_TRACING
+ * is 0 (CMake option SGMS_ENABLE_TRACING=OFF) and to a single null
+ * pointer test when tracing is compiled in but no Tracer is attached.
+ *
+ * Exports: Chrome trace_event JSON (chrome://tracing, Perfetto) and a
+ * human-readable per-fault timeline dump (obs/chrome_trace.h).
+ */
+
+#ifndef SGMS_OBS_TRACER_H
+#define SGMS_OBS_TRACER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgms::obs
+{
+
+/** What a span describes; one Chrome trace category per value. */
+enum class SpanCategory : uint8_t
+{
+    Fault,    ///< demand-fetch stall of one page/subpage fault
+    PageWait, ///< later stall on a page's in-flight background data
+    Block,    ///< any interval the traced program was blocked
+    Net,      ///< one message's occupancy of one pipeline stage
+    Gms,      ///< global-memory activity (putpage, discard, eviction)
+    Policy,   ///< fetch-plan construction (instant)
+};
+
+constexpr size_t SPAN_CATEGORIES = 6;
+
+const char *span_category_name(SpanCategory c);
+
+/** One recorded span; `end == start` marks an instant event. */
+struct Span
+{
+    /** Static event name (never freed; pass string literals). */
+    const char *name = "";
+    /** Static track (timeline row) name. */
+    const char *track = "";
+    Tick start = 0;
+    Tick end = 0;
+    /** Correlating id: fault id for fault spans, msg id for net. */
+    uint64_t id = 0;
+    /** Category-specific arguments (page id, bytes, ...). */
+    int64_t arg0 = 0;
+    int64_t arg1 = 0;
+    SpanCategory cat = SpanCategory::Fault;
+
+    Tick duration() const { return end - start; }
+    bool instant() const { return end == start; }
+};
+
+/** Bounded recorder of spans; oldest are dropped when full. */
+class Tracer
+{
+  public:
+    static constexpr size_t DEFAULT_CAPACITY = 1 << 20;
+
+    /** @param capacity ring size in spans (>= 1). */
+    explicit Tracer(size_t capacity = DEFAULT_CAPACITY);
+
+    void
+    record(SpanCategory cat, const char *name, const char *track,
+           Tick start, Tick end, uint64_t id = 0, int64_t arg0 = 0,
+           int64_t arg1 = 0)
+    {
+        Span &s = ring_[next_];
+        s.cat = cat;
+        s.name = name;
+        s.track = track;
+        s.start = start;
+        s.end = end;
+        s.id = id;
+        s.arg0 = arg0;
+        s.arg1 = arg1;
+        ++count_by_cat_[static_cast<size_t>(cat)];
+        next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+        if (size_ < ring_.size())
+            ++size_;
+        else
+            ++dropped_;
+    }
+
+    /** Instant-event shorthand. */
+    void
+    instant(SpanCategory cat, const char *name, const char *track,
+            Tick at, uint64_t id = 0, int64_t arg0 = 0,
+            int64_t arg1 = 0)
+    {
+        record(cat, name, track, at, at, id, arg0, arg1);
+    }
+
+    /** Retained spans, oldest first (start order within a track). */
+    std::vector<Span> spans() const;
+
+    /** Spans currently retained. */
+    size_t size() const { return size_; }
+
+    size_t capacity() const { return ring_.size(); }
+
+    /** Spans lost to ring overflow since the last clear(). */
+    uint64_t dropped() const { return dropped_; }
+
+    /** Spans ever recorded in @p cat (including dropped ones). */
+    uint64_t
+    recorded(SpanCategory cat) const
+    {
+        return count_by_cat_[static_cast<size_t>(cat)];
+    }
+
+    void clear();
+
+  private:
+    std::vector<Span> ring_;
+    size_t next_ = 0;
+    size_t size_ = 0;
+    uint64_t dropped_ = 0;
+    uint64_t count_by_cat_[SPAN_CATEGORIES] = {};
+};
+
+} // namespace sgms::obs
+
+/**
+ * Instrumentation macros. `tr` is an `obs::Tracer *` (may be null).
+ * With SGMS_OBS_TRACING defined to 0 the calls vanish entirely, so a
+ * tracing-disabled build pays nothing — not even the null test.
+ */
+#ifndef SGMS_OBS_TRACING
+#define SGMS_OBS_TRACING 1
+#endif
+
+#if SGMS_OBS_TRACING
+#define SGMS_TRACE_SPAN(tr, cat, name, track, start, end, ...)          \
+    do {                                                                \
+        if (tr) {                                                       \
+            (tr)->record(::sgms::obs::SpanCategory::cat, name, track,   \
+                         start, end, ##__VA_ARGS__);                    \
+        }                                                               \
+    } while (0)
+#define SGMS_TRACE_INSTANT(tr, cat, name, track, at, ...)               \
+    do {                                                                \
+        if (tr) {                                                       \
+            (tr)->instant(::sgms::obs::SpanCategory::cat, name, track,  \
+                          at, ##__VA_ARGS__);                           \
+        }                                                               \
+    } while (0)
+#else
+#define SGMS_TRACE_SPAN(tr, cat, name, track, start, end, ...) ((void)0)
+#define SGMS_TRACE_INSTANT(tr, cat, name, track, at, ...) ((void)0)
+#endif
+
+#endif // SGMS_OBS_TRACER_H

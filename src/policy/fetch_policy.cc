@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/debug.h"
 
 namespace sgms
 {
@@ -14,6 +15,44 @@ FetchPlan::total_bytes() const
     for (const auto &seg : segments)
         total += seg.bytes;
     return total;
+}
+
+FetchPlan
+FetchPolicy::plan(const PageGeometry &geo, SubpageIndex faulted,
+                  uint32_t byte_in_sub, uint64_t missing_mask) const
+{
+    FetchPlan p = build_plan(geo, faulted, byte_in_sub, missing_mask);
+    if (c_plans_) {
+        c_plans_->inc();
+        if (p.from_disk)
+            c_disk_plans_->inc();
+        for (const TransferSegment &s : p.segments) {
+            if (s.demand) {
+                c_demand_bytes_->inc(s.bytes);
+            } else {
+                (s.pipelined_recv ? c_pipelined_followons_
+                                  : c_eager_followons_)
+                    ->inc();
+                c_followon_bytes_->inc(s.bytes);
+            }
+        }
+    }
+    SGMS_DPRINTF(Policy,
+                 "%s: fault on subpage %u -> %zu segment(s), %u bytes%s",
+                 name(), faulted, p.segments.size(), p.total_bytes(),
+                 p.from_disk ? " (disk)" : "");
+    return p;
+}
+
+void
+FetchPolicy::bind_metrics(obs::MetricsRegistry &m)
+{
+    c_plans_ = &m.counter("policy.plans");
+    c_disk_plans_ = &m.counter("policy.disk_plans");
+    c_demand_bytes_ = &m.counter("policy.demand_bytes");
+    c_eager_followons_ = &m.counter("policy.eager_followons");
+    c_pipelined_followons_ = &m.counter("policy.pipelined_followons");
+    c_followon_bytes_ = &m.counter("policy.followon_bytes");
 }
 
 const char *
@@ -53,7 +92,7 @@ seg(uint64_t mask, const PageGeometry &geo, bool demand,
 } // namespace
 
 FetchPlan
-DiskPolicy::plan(const PageGeometry &geo, SubpageIndex, uint32_t,
+DiskPolicy::build_plan(const PageGeometry &geo, SubpageIndex, uint32_t,
                  uint64_t missing_mask) const
 {
     FetchPlan p;
@@ -63,7 +102,7 @@ DiskPolicy::plan(const PageGeometry &geo, SubpageIndex, uint32_t,
 }
 
 FetchPlan
-FullPagePolicy::plan(const PageGeometry &geo, SubpageIndex, uint32_t,
+FullPagePolicy::build_plan(const PageGeometry &geo, SubpageIndex, uint32_t,
                      uint64_t missing_mask) const
 {
     FetchPlan p;
@@ -72,7 +111,7 @@ FullPagePolicy::plan(const PageGeometry &geo, SubpageIndex, uint32_t,
 }
 
 FetchPlan
-LazySubpagePolicy::plan(const PageGeometry &geo, SubpageIndex faulted,
+LazySubpagePolicy::build_plan(const PageGeometry &geo, SubpageIndex faulted,
                         uint32_t, uint64_t missing_mask) const
 {
     SGMS_ASSERT(missing_mask & (1ULL << faulted));
@@ -82,7 +121,7 @@ LazySubpagePolicy::plan(const PageGeometry &geo, SubpageIndex faulted,
 }
 
 FetchPlan
-EagerFullpagePolicy::plan(const PageGeometry &geo, SubpageIndex faulted,
+EagerFullpagePolicy::build_plan(const PageGeometry &geo, SubpageIndex faulted,
                           uint32_t, uint64_t missing_mask) const
 {
     SGMS_ASSERT(missing_mask & (1ULL << faulted));
@@ -96,7 +135,7 @@ EagerFullpagePolicy::plan(const PageGeometry &geo, SubpageIndex faulted,
 }
 
 FetchPlan
-PipeliningPolicy::plan(const PageGeometry &geo, SubpageIndex faulted,
+PipeliningPolicy::build_plan(const PageGeometry &geo, SubpageIndex faulted,
                        uint32_t byte_in_sub,
                        uint64_t missing_mask) const
 {
@@ -185,7 +224,7 @@ AdaptivePipeliningPolicy::distance_count(int distance) const
 }
 
 FetchPlan
-AdaptivePipeliningPolicy::plan(const PageGeometry &geo,
+AdaptivePipeliningPolicy::build_plan(const PageGeometry &geo,
                                SubpageIndex faulted, uint32_t,
                                uint64_t missing_mask) const
 {
@@ -225,8 +264,11 @@ AdaptivePipeliningPolicy::plan(const PageGeometry &geo,
     return p;
 }
 
+namespace
+{
+
 std::unique_ptr<FetchPolicy>
-make_fetch_policy(const std::string &name)
+make_policy_by_name(const std::string &name)
 {
     if (name == "disk")
         return std::make_unique<DiskPolicy>();
@@ -251,6 +293,18 @@ make_fetch_policy(const std::string &name)
     if (name == "pipelining-adaptive")
         return std::make_unique<AdaptivePipeliningPolicy>();
     fatal("unknown fetch policy '%s'", name.c_str());
+}
+
+} // namespace
+
+std::unique_ptr<FetchPolicy>
+make_fetch_policy(const std::string &name,
+                  obs::MetricsRegistry *metrics)
+{
+    std::unique_ptr<FetchPolicy> policy = make_policy_by_name(name);
+    if (metrics)
+        policy->bind_metrics(*metrics);
+    return policy;
 }
 
 } // namespace sgms

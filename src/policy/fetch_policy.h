@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "mem/page.h"
+#include "obs/metrics.h"
 
 namespace sgms
 {
@@ -99,7 +100,9 @@ class FetchPolicy
     virtual ~FetchPolicy() = default;
 
     /**
-     * Build the plan for a fault.
+     * Build the plan for a fault (template method: dispatches to the
+     * policy's build_plan, then records policy.* metrics and debug
+     * output uniformly).
      *
      * @param geo          page geometry
      * @param faulted      subpage containing the faulted address
@@ -108,9 +111,15 @@ class FetchPolicy
      * @param missing_mask subpages not already valid in the frame
      *                     (all subpages for a fresh page fault)
      */
-    virtual FetchPlan plan(const PageGeometry &geo, SubpageIndex faulted,
-                           uint32_t byte_in_sub,
-                           uint64_t missing_mask) const = 0;
+    FetchPlan plan(const PageGeometry &geo, SubpageIndex faulted,
+                   uint32_t byte_in_sub, uint64_t missing_mask) const;
+
+    /**
+     * Register this policy's counters (policy.plans,
+     * policy.eager_followons, policy.pipelined_followons, ...) with
+     * @p m; until called, plan() skips metric accounting.
+     */
+    void bind_metrics(obs::MetricsRegistry &m);
 
     /**
      * Feedback hook: after a fault on subpage i, the first access to
@@ -123,15 +132,32 @@ class FetchPolicy
     virtual void observe_distance(int /* distance */) {}
 
     virtual const char *name() const = 0;
+
+  protected:
+    /** Policy-specific plan construction; see plan() for params. */
+    virtual FetchPlan build_plan(const PageGeometry &geo,
+                                 SubpageIndex faulted,
+                                 uint32_t byte_in_sub,
+                                 uint64_t missing_mask) const = 0;
+
+  private:
+    // Bound metrics (null until bind_metrics; mutated through the
+    // pointers, so plan() stays const).
+    obs::Counter *c_plans_ = nullptr;
+    obs::Counter *c_disk_plans_ = nullptr;
+    obs::Counter *c_demand_bytes_ = nullptr;
+    obs::Counter *c_eager_followons_ = nullptr;
+    obs::Counter *c_pipelined_followons_ = nullptr;
+    obs::Counter *c_followon_bytes_ = nullptr;
 };
 
 /** Service every fault from the local disk (no network memory). */
 class DiskPolicy : public FetchPolicy
 {
   public:
-    FetchPlan plan(const PageGeometry &geo, SubpageIndex faulted,
-                   uint32_t byte_in_sub,
-                   uint64_t missing_mask) const override;
+    FetchPlan build_plan(const PageGeometry &geo, SubpageIndex faulted,
+                         uint32_t byte_in_sub,
+                         uint64_t missing_mask) const override;
     const char *name() const override { return "disk"; }
 };
 
@@ -139,9 +165,9 @@ class DiskPolicy : public FetchPolicy
 class FullPagePolicy : public FetchPolicy
 {
   public:
-    FetchPlan plan(const PageGeometry &geo, SubpageIndex faulted,
-                   uint32_t byte_in_sub,
-                   uint64_t missing_mask) const override;
+    FetchPlan build_plan(const PageGeometry &geo, SubpageIndex faulted,
+                         uint32_t byte_in_sub,
+                         uint64_t missing_mask) const override;
     const char *name() const override { return "fullpage"; }
 };
 
@@ -149,9 +175,9 @@ class FullPagePolicy : public FetchPolicy
 class LazySubpagePolicy : public FetchPolicy
 {
   public:
-    FetchPlan plan(const PageGeometry &geo, SubpageIndex faulted,
-                   uint32_t byte_in_sub,
-                   uint64_t missing_mask) const override;
+    FetchPlan build_plan(const PageGeometry &geo, SubpageIndex faulted,
+                         uint32_t byte_in_sub,
+                         uint64_t missing_mask) const override;
     const char *name() const override { return "lazy"; }
 };
 
@@ -159,9 +185,9 @@ class LazySubpagePolicy : public FetchPolicy
 class EagerFullpagePolicy : public FetchPolicy
 {
   public:
-    FetchPlan plan(const PageGeometry &geo, SubpageIndex faulted,
-                   uint32_t byte_in_sub,
-                   uint64_t missing_mask) const override;
+    FetchPlan build_plan(const PageGeometry &geo, SubpageIndex faulted,
+                         uint32_t byte_in_sub,
+                         uint64_t missing_mask) const override;
     const char *name() const override { return "eager"; }
 };
 
@@ -174,9 +200,9 @@ class PipeliningPolicy : public FetchPolicy
         : strategy_(strategy)
     {}
 
-    FetchPlan plan(const PageGeometry &geo, SubpageIndex faulted,
-                   uint32_t byte_in_sub,
-                   uint64_t missing_mask) const override;
+    FetchPlan build_plan(const PageGeometry &geo, SubpageIndex faulted,
+                         uint32_t byte_in_sub,
+                         uint64_t missing_mask) const override;
     const char *name() const override { return "pipelining"; }
 
     PipelineStrategy strategy() const { return strategy_; }
@@ -202,9 +228,9 @@ class AdaptivePipeliningPolicy : public FetchPolicy
         : warmup_(warmup)
     {}
 
-    FetchPlan plan(const PageGeometry &geo, SubpageIndex faulted,
-                   uint32_t byte_in_sub,
-                   uint64_t missing_mask) const override;
+    FetchPlan build_plan(const PageGeometry &geo, SubpageIndex faulted,
+                         uint32_t byte_in_sub,
+                         uint64_t missing_mask) const override;
     void observe_distance(int distance) override;
     const char *name() const override { return "pipelining-adaptive"; }
 
@@ -225,9 +251,12 @@ class AdaptivePipeliningPolicy : public FetchPolicy
  * Factory by name: "disk", "fullpage", "lazy", "eager",
  * "pipelining" (NeighborsThenRest), "pipelining-all",
  * "pipelining-doubled", "pipelining-initial2x",
- * "pipelining-adaptive".
+ * "pipelining-adaptive". When @p metrics is given, the policy's
+ * counters are registered before it is returned.
  */
-std::unique_ptr<FetchPolicy> make_fetch_policy(const std::string &name);
+std::unique_ptr<FetchPolicy>
+make_fetch_policy(const std::string &name,
+                  obs::MetricsRegistry *metrics = nullptr);
 
 } // namespace sgms
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace sgms
 {
@@ -68,9 +69,23 @@ class PalEmulator
         bool fast = page == last_page_;
         last_page_ = page;
         ++emulated_;
+        if (c_fast_)
+            (fast ? c_fast_ : c_slow_)->inc();
         if (write)
             return fast ? costs_.fast_store : costs_.slow_store;
         return fast ? costs_.fast_load : costs_.slow_load;
+    }
+
+    /**
+     * Register the emulation counters: tlb.emulation_hits counts
+     * accesses served with the PALcode's cached valid bits (the
+     * Table 1 "fast" case), tlb.emulation_misses the "slow" case.
+     */
+    void
+    bind_metrics(obs::MetricsRegistry &m)
+    {
+        c_fast_ = &m.counter("tlb.emulation_hits");
+        c_slow_ = &m.counter("tlb.emulation_misses");
     }
 
     /** A page completed; drop the cached-valid-bits affinity. */
@@ -91,6 +106,8 @@ class PalEmulator
     PalCosts costs_;
     PageId last_page_ = NO_PAGE;
     uint64_t emulated_ = 0;
+    obs::Counter *c_fast_ = nullptr;
+    obs::Counter *c_slow_ = nullptr;
 };
 
 } // namespace sgms

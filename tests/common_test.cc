@@ -329,5 +329,61 @@ TEST(Chart, EmptyLinePlot)
     EXPECT_NE(os.str().find("(no data)"), std::string::npos);
 }
 
+TEST(Histogram, QuantileEmptyIsZero)
+{
+    Histogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.quantile(0.0), 0);
+    EXPECT_EQ(h.quantile(0.5), 0);
+    EXPECT_EQ(h.quantile(1.0), 0);
+}
+
+TEST(Histogram, QuantileExtremes)
+{
+    Histogram h;
+    h.add(-5, 10);
+    h.add(0, 10);
+    h.add(7, 10);
+    // q=0 is the smallest key, q=1 the largest.
+    EXPECT_EQ(h.quantile(0.0), -5);
+    EXPECT_EQ(h.quantile(1.0), 7);
+    EXPECT_EQ(h.quantile(0.5), 0);
+}
+
+TEST(Histogram, QuantileSingleBin)
+{
+    Histogram h;
+    h.add(42, 3);
+    EXPECT_EQ(h.quantile(0.0), 42);
+    EXPECT_EQ(h.quantile(0.25), 42);
+    EXPECT_EQ(h.quantile(1.0), 42);
+}
+
+TEST(Series, DownsampledPreservesEndpoints)
+{
+    Series s;
+    s.name = "long";
+    for (int i = 0; i < 1000; ++i)
+        s.add(i, 2.0 * i);
+    Series d = s.downsampled(16);
+    ASSERT_EQ(d.points.size(), 16u);
+    EXPECT_EQ(d.name, "long");
+    EXPECT_EQ(d.points.front(), s.points.front());
+    EXPECT_EQ(d.points.back(), s.points.back());
+}
+
+TEST(Series, DownsampledSmallSeriesUnchanged)
+{
+    Series s;
+    s.add(0, 1);
+    s.add(1, 2);
+    s.add(2, 3);
+    Series d = s.downsampled(10);
+    ASSERT_EQ(d.points.size(), 3u);
+    EXPECT_EQ(d.points, s.points);
+    // max_points < 2 is a no-op rather than a degenerate series.
+    EXPECT_EQ(s.downsampled(1).points.size(), 3u);
+}
+
 } // namespace
 } // namespace sgms

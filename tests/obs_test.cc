@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Observability smoke tests: the tracer ring, Chrome trace export,
+ * the metrics registry and its JSON round-trip through json_report,
+ * debug-flag parsing, and the span/sp_latency accounting invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "core/json_report.h"
+#include "core/simulator.h"
+#include "obs/chrome_trace.h"
+#include "obs/debug.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "trace/synthetic.h"
+
+namespace sgms
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Minimal JSON syntax validator (no values kept): enough to assert
+// the exporters emit well-formed documents without a JSON library.
+// ---------------------------------------------------------------
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skip_ws();
+        if (!value())
+            return false;
+        skip_ws();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (!string())
+                return false;
+            skip_ws();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skip_ws();
+            if (!value())
+                return false;
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skip_ws();
+            if (!value())
+                return false;
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '+' || s_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        size_t n = std::string(lit).size();
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+/** The quickstart workload: small, but exercises every span type. */
+WorkloadSpec
+smoke_workload()
+{
+    WorkloadSpec spec;
+    spec.name = "obs-smoke";
+    spec.hot_pages = 8;
+
+    PhaseSpec sweep;
+    sweep.kind = PhaseSpec::Kind::SweepScan;
+    sweep.page_lo = 8;
+    sweep.page_hi = 72;
+    sweep.refs = 64 * 10000;
+    sweep.hot_frac = 1.0 - 1.0 / 10000;
+    spec.phases.push_back(sweep);
+
+    PhaseSpec dense;
+    dense.kind = PhaseSpec::Kind::DenseScan;
+    dense.page_lo = 72;
+    dense.page_hi = 88;
+    dense.stride = 64;
+    dense.hot_frac = 0.9;
+    dense.refs = 16 * 128 * 10;
+    spec.phases.push_back(dense);
+    return spec;
+}
+
+SimResult
+run_traced(obs::Tracer &tracer)
+{
+    SimConfig cfg;
+    cfg.policy = "eager";
+    cfg.subpage_size = 1024;
+    cfg.mem_pages = 44;
+    cfg.tracer = &tracer;
+    SyntheticTrace trace(smoke_workload(), /*seed=*/42);
+    Simulator sim(cfg);
+    return sim.run(trace);
+}
+
+TEST(Tracer, RingOverflowDropsOldest)
+{
+    obs::Tracer tr(4);
+    for (int i = 0; i < 10; ++i) {
+        tr.record(obs::SpanCategory::Net, "m", "t", i * 10, i * 10 + 5,
+                  static_cast<uint64_t>(i));
+    }
+    EXPECT_EQ(tr.size(), 4u);
+    EXPECT_EQ(tr.capacity(), 4u);
+    EXPECT_EQ(tr.dropped(), 6u);
+    EXPECT_EQ(tr.recorded(obs::SpanCategory::Net), 10u);
+    auto spans = tr.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    // Oldest retained first: ids 6..9.
+    EXPECT_EQ(spans.front().id, 6u);
+    EXPECT_EQ(spans.back().id, 9u);
+    tr.clear();
+    EXPECT_EQ(tr.size(), 0u);
+    EXPECT_EQ(tr.dropped(), 0u);
+}
+
+// The sim-driven span tests require the instrumentation macros to be
+// compiled in (SGMS_ENABLE_TRACING=ON, the default).
+#if SGMS_OBS_TRACING
+
+TEST(Tracer, SimRunRecordsEveryCategory)
+{
+    obs::Tracer tracer;
+    SimResult r = run_traced(tracer);
+    ASSERT_GT(r.page_faults, 0u);
+    for (size_t c = 0; c < obs::SPAN_CATEGORIES; ++c) {
+        EXPECT_GT(tracer.recorded(static_cast<obs::SpanCategory>(c)),
+                  0u)
+            << "no spans in category "
+            << obs::span_category_name(
+                   static_cast<obs::SpanCategory>(c));
+    }
+}
+
+TEST(Tracer, DemandSpansSumToSpLatency)
+{
+    obs::Tracer tracer;
+    SimResult r = run_traced(tracer);
+    Tick sum = 0;
+    uint64_t demand_spans = 0;
+    for (const auto &s : tracer.spans()) {
+        if (s.cat == obs::SpanCategory::Fault) {
+            sum += s.duration();
+            ++demand_spans;
+        }
+    }
+    ASSERT_GT(demand_spans, 0u);
+    ASSERT_GT(r.sp_latency, 0u);
+    // The simulator emits one Fault span per sp_latency increment,
+    // so the sum matches exactly — assert the 1% acceptance bound
+    // and then exactness.
+    double rel = std::abs(static_cast<double>(sum) -
+                          static_cast<double>(r.sp_latency)) /
+                 static_cast<double>(r.sp_latency);
+    EXPECT_LT(rel, 0.01);
+    EXPECT_EQ(sum, r.sp_latency);
+}
+
+TEST(Tracer, ChromeExportIsValidJson)
+{
+    obs::Tracer tracer;
+    SimResult r = run_traced(tracer);
+    (void)r;
+    std::ostringstream os;
+    obs::write_chrome_trace(os, tracer);
+    std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid()) << "invalid trace JSON";
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Every category shows up as a cat attribute at least once.
+    for (size_t c = 0; c < obs::SPAN_CATEGORIES; ++c) {
+        std::string needle =
+            std::string("\"cat\":\"") +
+            obs::span_category_name(static_cast<obs::SpanCategory>(c)) +
+            "\"";
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle;
+    }
+}
+
+TEST(Tracer, FaultTimelineMentionsFaults)
+{
+    obs::Tracer tracer;
+    run_traced(tracer);
+    std::ostringstream os;
+    obs::write_fault_timeline(os, tracer, 2);
+    EXPECT_NE(os.str().find("fault"), std::string::npos);
+    EXPECT_NE(os.str().find("demand"), std::string::npos);
+}
+
+#endif // SGMS_OBS_TRACING
+
+TEST(Metrics, RegistryFindsAndSnapshots)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &c = reg.counter("a.count");
+    c.inc();
+    c.inc(2);
+    EXPECT_EQ(c.value(), 3u);
+    // find-or-create returns the same object.
+    EXPECT_EQ(&reg.counter("a.count"), &c);
+    reg.gauge("a.gauge").set(1.5);
+    obs::Distribution &d = reg.distribution("a.dist");
+    d.add(1.0);
+    d.add(3.0);
+
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    bool saw_counter = false;
+    for (const auto &m : snap) {
+        if (m.name == "a.count") {
+            saw_counter = true;
+            EXPECT_EQ(m.kind, obs::MetricKind::Counter);
+            EXPECT_DOUBLE_EQ(m.value, 3.0);
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+}
+
+TEST(Metrics, JsonRoundTripsThroughReport)
+{
+    obs::Tracer tracer;
+    SimResult r = run_traced(tracer);
+    ASSERT_FALSE(r.metrics.empty());
+
+    // The metrics block alone is valid JSON...
+    std::ostringstream ms;
+    obs::write_metrics_json(ms, r.metrics);
+    EXPECT_TRUE(JsonChecker(ms.str()).valid());
+
+    // ...and survives embedding in the full result report.
+    std::ostringstream os;
+    write_result_json(os, r);
+    std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid()) << "invalid report JSON";
+    std::string expect = "\"sim.page_faults\":" +
+                         std::to_string(r.page_faults);
+    EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+    EXPECT_NE(json.find(expect), std::string::npos);
+    EXPECT_NE(json.find("\"net.messages\":"), std::string::npos);
+    EXPECT_NE(json.find("\"sim.fault_wait_ns\":"), std::string::npos);
+}
+
+TEST(Debug, FlagParsing)
+{
+    uint32_t mask = obs::parse_debug_flags("Net,gms, POLICY");
+    EXPECT_TRUE(mask & static_cast<uint32_t>(obs::DebugFlag::Net));
+    EXPECT_TRUE(mask & static_cast<uint32_t>(obs::DebugFlag::Gms));
+    EXPECT_TRUE(mask & static_cast<uint32_t>(obs::DebugFlag::Policy));
+    EXPECT_FALSE(mask & static_cast<uint32_t>(obs::DebugFlag::Sim));
+    EXPECT_EQ(obs::parse_debug_flags(""), 0u);
+
+    uint32_t all = obs::parse_debug_flags("all");
+    for (const auto &[name, flag] : obs::debug_flag_table())
+        EXPECT_TRUE(all & static_cast<uint32_t>(flag)) << name;
+
+    uint32_t prev = obs::set_debug_flags(mask);
+    EXPECT_TRUE(obs::debug_enabled(obs::DebugFlag::Net));
+    EXPECT_FALSE(obs::debug_enabled(obs::DebugFlag::Tlb));
+    obs::set_debug_flags(prev);
+}
+
+TEST(Logging, SetQuietReturnsPrevious)
+{
+    bool orig = set_quiet(true);
+    EXPECT_TRUE(set_quiet(false));
+    EXPECT_FALSE(set_quiet(orig));
+}
+
+} // namespace
+} // namespace sgms
