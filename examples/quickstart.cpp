@@ -15,6 +15,7 @@
 #include "common/options.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "core/config_override.h"
 #include "core/simulator.h"
 #include "obs/session.h"
 #include "trace/synthetic.h"
@@ -26,8 +27,9 @@ main(int argc, char **argv)
 {
     Options opts(argc, argv);
     if (opts.has("help")) {
-        std::printf("usage: quickstart [flags]\n%s\n",
-                    obs::ObsSession::help());
+        std::printf("usage: quickstart [flags]\n%s\n%s\n",
+                    obs::ObsSession::help(),
+                    config_override_help());
         return 0;
     }
     obs::ObsSession obs(opts);
@@ -66,6 +68,15 @@ main(int argc, char **argv)
         cfg.subpage_size =
             std::string(policy) == "eager" ? 1024 : 8192;
         cfg.mem_pages = 44; // half of the 88-page footprint
+        // Honor the shared overrides (--faults, --servers, ...) but
+        // keep this run's policy/subpage/memory choices.
+        std::string keep_policy = cfg.policy;
+        uint32_t keep_subpage = cfg.subpage_size;
+        uint64_t keep_mem = cfg.mem_pages;
+        apply_config_overrides(cfg, opts);
+        cfg.policy = keep_policy;
+        cfg.subpage_size = keep_subpage;
+        cfg.mem_pages = keep_mem;
         // The tracer is shared across the three configurations;
         // keep only the final (eager) run's spans.
         if (obs.tracer())

@@ -3,7 +3,8 @@
 #
 #   scripts/check.sh          configure + build + ctest (tier 1),
 #                             then a -Wall -Wextra -Werror rebuild in
-#                             a separate tree (build-strict/)
+#                             a separate tree (build-strict/) and an
+#                             ASan+UBSan build + ctest (build-asan/)
 #   scripts/check.sh --quick  tier 1 only
 #
 # Exits non-zero on the first failure.
@@ -42,6 +43,15 @@ if [[ $quick -eq 0 ]]; then
     cmake -B build-strict -S . \
         -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror -Wno-restrict" >/dev/null
     cmake --build build-strict -j "$(nproc)"
+
+    echo "== sanitizers: ASan+UBSan build + ctest =="
+    cmake -B build-asan -S . \
+        -DSGMS_SANITIZE=address,undefined >/dev/null
+    cmake --build build-asan -j "$(nproc)"
+    (cd build-asan &&
+        ASAN_OPTIONS=detect_leaks=0 \
+        UBSAN_OPTIONS=halt_on_error=1 \
+        ctest --output-on-failure -j "$(nproc)")
 fi
 
 echo "== all checks passed =="

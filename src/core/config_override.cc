@@ -1,5 +1,7 @@
 #include "core/config_override.h"
 
+#include <cstdlib>
+
 namespace sgms
 {
 
@@ -45,6 +47,18 @@ apply_config_overrides(SimConfig &cfg, const Options &opts)
         cfg.ns_per_ref =
             ticks::from_ns(opts.get_double("ns-per-ref", 12.0));
     }
+    // Fault injection: the --faults flag wins over the SGMS_FAULTS
+    // environment variable (same spec syntax; fault/fault_plan.h).
+    if (opts.has("faults")) {
+        cfg.faults = fault::FaultPlan::parse(opts.get("faults"));
+    } else if (const char *env = std::getenv("SGMS_FAULTS");
+               env && *env) {
+        cfg.faults = fault::FaultPlan::parse(env);
+    }
+    cfg.retry.max_attempts = static_cast<uint32_t>(
+        opts.get_u64("fault-retries", cfg.retry.max_attempts));
+    cfg.retry.timeout_multiplier = opts.get_double(
+        "fault-timeout-mult", cfg.retry.timeout_multiplier);
 }
 
 const char *
@@ -54,7 +68,10 @@ config_override_help()
            "--mem-pages=N --replacement=R\n  --servers=N --cold "
            "--no-putpage --global-capacity=N --cluster-load=U\n"
            "  --software-pal --tlb[=entries] --fifo-network "
-           "--proto-controller --ns-per-ref=NS";
+           "--proto-controller --ns-per-ref=NS\n"
+           "  --faults=SPEC (or SGMS_FAULTS; e.g. "
+           "loss=0.05,seed=7,down=1:10:50)\n"
+           "  --fault-retries=N --fault-timeout-mult=X";
 }
 
 } // namespace sgms

@@ -20,6 +20,12 @@
  *   --proto-controller       AN2 per-subpage interrupt costs for
  *                            pipelined transfers
  *   --ns-per-ref=<ns>        simulation clock
+ *   --faults=<spec>          fault-injection plan (fault_plan.h);
+ *                            SGMS_FAULTS env is an alternative
+ *                            spelling, the flag wins
+ *   --fault-retries=<n>      max fetch attempts under faults
+ *   --fault-timeout-mult=<x> timeout margin over the calibrated
+ *                            fetch latency
  */
 
 #ifndef SGMS_CORE_CONFIG_OVERRIDE_H

@@ -87,6 +87,13 @@ write_result_json(std::ostream &os, const SimResult &r,
     field_ms(os, "comp_overlap", r.comp_overlap);
     field(os, "net_messages", r.net_stats.messages);
     field(os, "net_bytes", r.net_stats.bytes);
+    field(os, "msgs_dropped", r.net_stats.dropped);
+    field(os, "msgs_corrupted", r.net_stats.corrupted);
+    field(os, "retries", r.retries);
+    field(os, "timeouts", r.timeouts);
+    field(os, "degraded_fetches", r.degraded_fetches);
+    field(os, "duplicate_deliveries", r.duplicate_deliveries);
+    field(os, "server_failures", r.server_failures);
     os << "\"metrics\":";
     obs::write_metrics_json(os, r.metrics);
     os << ",";

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault_plan.h"
 #include "gms/cluster_load.h"
 #include "gms/gms.h"
 #include "net/params.h"
@@ -76,6 +77,20 @@ struct SimConfig
 
     /** Emulation costs when protection == SoftwarePal. */
     PalCosts pal;
+
+    /**
+     * Fault-injection schedule (fault/fault_plan.h). Disabled by
+     * default; with the default plan the simulator takes exactly the
+     * fault-free code paths and results are byte-identical to a
+     * build without the reliability layer.
+     */
+    fault::FaultPlan faults;
+
+    /**
+     * Timeout/retry/degradation policy of the reliable fetch
+     * protocol; consulted only when `faults` is enabled.
+     */
+    fault::RetryPolicy retry;
 
     /** Model a TLB (needed for the small-pages comparison). */
     bool tlb_enabled = false;

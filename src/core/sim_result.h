@@ -83,6 +83,13 @@ struct SimResult
     TlbStats tlb_stats;
     uint64_t global_discards = 0; ///< pages dropped from global memory
 
+    // Reliability stats (all zero when fault injection is off).
+    uint64_t retries = 0;           ///< fetch attempts beyond the first
+    uint64_t timeouts = 0;          ///< attempts that timed out
+    uint64_t degraded_fetches = 0;  ///< fetches that fell back to disk
+    uint64_t duplicate_deliveries = 0; ///< suppressed duplicate data
+    uint64_t server_failures = 0;   ///< directory invalidations
+
     /**
      * Uniform end-of-run snapshot of every metric the run's
      * components registered (obs/metrics.h), name-sorted. The named

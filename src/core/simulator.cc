@@ -24,8 +24,12 @@ Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg))
 
 Simulator::Run::Run(const SimConfig &cfg)
     : tracer(cfg.tracer),
+      finj(cfg.faults.enabled()
+               ? std::make_unique<fault::FaultInjector>(cfg.faults,
+                                                        &metrics)
+               : nullptr),
       net(eq, cfg.net, /*requester=*/0, cfg.timeline, cfg.tracer,
-          &metrics),
+          &metrics, finj.get()),
       gms(net, cfg.gms, /*requester=*/0, cfg.tracer, &metrics),
       geo(cfg.page_size, cfg.subpage_size),
       pt(geo, cfg.mem_pages, cfg.replacement),
@@ -37,6 +41,15 @@ Simulator::Run::Run(const SimConfig &cfg)
       d_fault_wait(&metrics.distribution("sim.fault_wait_ns"))
 {
     pal.bind_metrics(metrics);
+    if (finj) {
+        // Registered only under fault injection so that fault-free
+        // runs keep a byte-identical metrics snapshot.
+        c_retries = &metrics.counter("gms.retries");
+        c_timeouts = &metrics.counter("gms.timeouts");
+        c_degraded = &metrics.counter("gms.degraded_fetches");
+        c_duplicates = &metrics.counter("gms.duplicate_deliveries");
+        d_retry_delay = &metrics.distribution("gms.retry_delay_ns");
+    }
     if (cfg.tlb_enabled)
         tlb = std::make_unique<Tlb>(cfg.tlb_entries, cfg.tlb_assoc,
                                     cfg.page_size);
@@ -135,6 +148,19 @@ Simulator::deliver(Run &r, PageId page, uint64_t fault_id,
     if (!frame || frame->fault_id != fault_id)
         return;
 
+    // Duplicate-delivery suppression: with retries and injected
+    // duplicates the same subpage can arrive more than once; bits
+    // that are already valid are counted and otherwise ignored
+    // (mark_valid is idempotent).
+    if (r.finj) {
+        uint64_t already = mask & frame->valid.raw();
+        if (already) {
+            uint64_t n = __builtin_popcountll(already);
+            r.res.duplicate_deliveries += n;
+            r.c_duplicates->inc(n);
+        }
+    }
+
     uint64_t m = mask;
     while (m) {
         SubpageIndex idx = __builtin_ctzll(m);
@@ -160,8 +186,14 @@ Simulator::deliver(Run &r, PageId page, uint64_t fault_id,
 
 void
 Simulator::issue_transfers(Run &r, PageId page, uint64_t fault_id,
-                           const FetchPlan &plan)
+                           const FetchPlan &plan, SubpageIndex faulted,
+                           uint32_t byte_in_sub)
 {
+    if (r.finj) {
+        issue_transfers_reliable(r, page, fault_id, plan, faulted,
+                                 byte_in_sub);
+        return;
+    }
     NodeId srv = r.gms.server_of(page);
     // Mark everything the plan covers as in flight immediately; the
     // program is blocked on the demand segment until it arrives, so
@@ -201,6 +233,239 @@ Simulator::issue_transfers(Run &r, PageId page, uint64_t fault_id,
                              }});
                     }
                 }});
+    });
+}
+
+/**
+ * State of one reliable fetch (fault injection enabled): which
+ * subpages it owes, which attempt is live, and whether it is
+ * finished. Shared between the attempt, timeout, and delivery
+ * closures; `generation` invalidates stale timeout events.
+ */
+struct Simulator::PendingFetch
+{
+    PageId page = 0;
+    uint64_t fault_id = 0;
+    NodeId srv = 0;
+    /** All subpages this fetch must land (union of plan segments). */
+    uint64_t expected = 0;
+    /** Subpage the program blocks on (replan anchor for retries). */
+    SubpageIndex demand_sp = 0;
+    uint32_t byte_in_sub = 0;
+    uint32_t attempt = 1;
+    uint64_t generation = 0;
+    bool done = false;
+};
+
+bool
+Simulator::server_unavailable(Run &r, NodeId srv) const
+{
+    return r.finj && (r.finj->server_down(srv, r.now) ||
+                      r.gms.server_failed(srv, r.now));
+}
+
+/** Propagate an observed outage into the GMS directory. */
+void
+Simulator::note_server_down(Run &r, NodeId srv)
+{
+    if (r.finj->server_down(srv, r.now)) {
+        r.gms.mark_server_failed(r.now, srv,
+                                 r.finj->recovery_time(srv, r.now));
+    }
+}
+
+void
+Simulator::finish_if_complete(Run &r, PendingFetch &st)
+{
+    if (st.done)
+        return;
+    PageTable::Frame *frame = r.pt.find(st.page);
+    if (!frame || frame->fault_id != st.fault_id) {
+        st.done = true; // page evicted; late arrivals are dropped
+        return;
+    }
+    if ((st.expected & ~frame->valid.raw()) == 0)
+        st.done = true;
+}
+
+void
+Simulator::issue_transfers_reliable(Run &r, PageId page,
+                                    uint64_t fault_id,
+                                    const FetchPlan &plan,
+                                    SubpageIndex faulted,
+                                    uint32_t byte_in_sub)
+{
+    auto st = std::make_shared<PendingFetch>();
+    st->page = page;
+    st->fault_id = fault_id;
+    st->srv = r.gms.server_of(page);
+    st->demand_sp = faulted;
+    st->byte_in_sub = byte_in_sub;
+    if (PageTable::Frame *frame = r.pt.find(page)) {
+        for (const auto &seg : plan.segments) {
+            frame->inflight |= seg.subpage_mask;
+            st->expected |= seg.subpage_mask;
+        }
+    }
+    // As in the unreliable path, the fault-handling fixed cost
+    // elapses on the faulting CPU before the request goes out.
+    start_attempt(r, std::move(st), plan, r.now + cfg_.net.fault_handle);
+}
+
+/**
+ * Schedule one fetch attempt: inject the request at @p when, and arm
+ * the attempt's timeout. The server answers the request by sending
+ * every plan segment back-to-back; each arrival marks its subpages
+ * and may complete the fetch.
+ */
+void
+Simulator::start_attempt(Run &r, std::shared_ptr<PendingFetch> st,
+                         FetchPlan plan, Tick when)
+{
+    Tick timeout = cfg_.retry.timeout_for(cfg_.net, plan.total_bytes());
+    r.eq.schedule(when, [this, &r, st, plan = std::move(plan), when,
+                         timeout] {
+        if (st->done)
+            return;
+        uint64_t gen = st->generation;
+        r.net.send(
+            when,
+            {0, st->srv, cfg_.net.request_bytes, MsgKind::Request,
+             false,
+             [this, &r, st, plan](Tick at, Tick) {
+                 if (st->done)
+                     return;
+                 for (const auto &seg : plan.segments) {
+                     Tick blocked_at_issue = r.blocked_at(at);
+                     r.net.send(
+                         at,
+                         {st->srv, 0, seg.bytes,
+                          seg.demand ? MsgKind::DemandData
+                                     : MsgKind::BackgroundData,
+                          seg.pipelined_recv,
+                          [this, &r, st, mask = seg.subpage_mask,
+                           demand = seg.demand, issued = at,
+                           blocked_at_issue](Tick d, Tick rc) {
+                              deliver(r, st->page, st->fault_id,
+                                      mask, demand, issued,
+                                      blocked_at_issue, d, rc);
+                              finish_if_complete(r, *st);
+                          }});
+                 }
+             }});
+        r.eq.schedule(when + timeout, [this, &r, st, gen,
+                                       at = when + timeout] {
+            on_fetch_timeout(r, st, gen, at);
+        });
+    });
+}
+
+/**
+ * An attempt's timer fired at @p when. If the fetch still owes data,
+ * either retry with exponential backoff + seeded jitter, or — when
+ * attempts are exhausted or the server is down — degrade to disk.
+ */
+void
+Simulator::on_fetch_timeout(Run &r, std::shared_ptr<PendingFetch> st,
+                            uint64_t generation, Tick when)
+{
+    if (st->done || st->generation != generation)
+        return;
+    finish_if_complete(r, *st);
+    if (st->done)
+        return;
+    PageTable::Frame *frame = r.pt.find(st->page);
+    SGMS_ASSERT(frame); // finish_if_complete marks done otherwise
+    uint64_t missing = st->expected & ~frame->valid.raw();
+
+    ++r.res.timeouts;
+    r.c_timeouts->inc();
+    SGMS_TRACE_INSTANT(r.tracer, Gms, "timeout", "reliability", when,
+                       st->fault_id, static_cast<int64_t>(st->page),
+                       static_cast<int64_t>(st->attempt));
+    SGMS_DPRINTF(Gms,
+                 "fetch timeout page %llu attempt %u missing %llx",
+                 static_cast<unsigned long long>(st->page), st->attempt,
+                 static_cast<unsigned long long>(missing));
+
+    if (st->attempt >= cfg_.retry.max_attempts ||
+        r.finj->server_down(st->srv, when)) {
+        degrade_to_disk(r, st, missing, when);
+        return;
+    }
+
+    ++st->attempt;
+    ++st->generation;
+    ++r.res.retries;
+    r.c_retries->inc();
+
+    // Replan for what is still missing, anchored on the subpage the
+    // program blocks on (or the lowest missing one once it landed).
+    SubpageIndex anchor =
+        (missing >> st->demand_sp) & 1
+            ? st->demand_sp
+            : static_cast<SubpageIndex>(__builtin_ctzll(missing));
+    uint32_t byte = anchor == st->demand_sp ? st->byte_in_sub : 0;
+    FetchPlan plan = r.policy->plan(r.geo, anchor, byte, missing);
+    SGMS_ASSERT(!plan.from_disk);
+    if (PageTable::Frame *f = r.pt.find(st->page)) {
+        for (const auto &seg : plan.segments)
+            f->inflight |= seg.subpage_mask;
+    }
+
+    Tick base_timeout =
+        cfg_.retry.timeout_for(cfg_.net, plan.total_bytes());
+    Tick delay = cfg_.retry.backoff_delay(st->attempt, base_timeout,
+                                          r.finj->jitter_draw());
+    r.d_retry_delay->add(ticks::to_ns(delay));
+    SGMS_TRACE_SPAN(r.tracer, Gms, "retry_backoff", "reliability",
+                    when, when + delay, st->fault_id,
+                    static_cast<int64_t>(st->page),
+                    static_cast<int64_t>(st->attempt));
+    start_attempt(r, st, std::move(plan), when + delay);
+}
+
+/**
+ * Retries exhausted (or the server died): mark the server failed in
+ * the directory and satisfy the missing subpages from the local
+ * disk. The paper's GMS premise — remote memory is only a cache
+ * whose loss degrades to disk — as a live protocol transition.
+ */
+void
+Simulator::degrade_to_disk(Run &r, std::shared_ptr<PendingFetch> st,
+                           uint64_t missing, Tick when)
+{
+    st->done = true;
+    ++r.res.degraded_fetches;
+    r.c_degraded->inc();
+
+    Tick failed_until = r.finj->server_down(st->srv, when)
+                            ? r.finj->recovery_time(st->srv, when)
+                            : when + cfg_.retry.quarantine;
+    r.gms.mark_server_failed(when, st->srv, failed_until);
+
+    uint32_t bytes = static_cast<uint32_t>(
+        __builtin_popcountll(missing) * cfg_.subpage_size);
+    Tick latency = cfg_.disk.access_latency(bytes);
+    SGMS_TRACE_SPAN(r.tracer, Gms, "degraded_disk", "reliability",
+                    when, when + latency, st->fault_id,
+                    static_cast<int64_t>(st->page),
+                    static_cast<int64_t>(bytes));
+    SGMS_DPRINTF(Gms, "degrading fetch of page %llu to disk (%u bytes)",
+                 static_cast<unsigned long long>(st->page), bytes);
+
+    r.eq.schedule(when + latency, [&r, st, missing] {
+        PageTable::Frame *frame = r.pt.find(st->page);
+        if (!frame || frame->fault_id != st->fault_id)
+            return;
+        uint64_t m = missing;
+        while (m) {
+            SubpageIndex idx = __builtin_ctzll(m);
+            m &= m - 1;
+            r.pt.mark_valid(st->page, idx);
+        }
+        if (frame->complete)
+            r.pal.page_completed(st->page);
     });
 }
 
@@ -251,7 +516,22 @@ Simulator::handle_page_fault(Run &r, PageId page, const TraceEvent &ev)
                        static_cast<int64_t>(fault_id),
                        static_cast<int64_t>(plan.segments.size()),
                        static_cast<int64_t>(plan.total_bytes()));
-    if (plan.from_disk || !r.gms.in_global_memory(page)) {
+    // Server-lookup boundary of the reliability layer: a fault whose
+    // owning server is down (or invalidated in the directory) goes
+    // straight to disk instead of timing out on the network.
+    bool degraded = false;
+    if (!plan.from_disk && server_unavailable(r, r.gms.server_of(page))) {
+        note_server_down(r, r.gms.server_of(page));
+        degraded = true;
+        ++r.res.degraded_fetches;
+        r.c_degraded->inc();
+        SGMS_TRACE_INSTANT(r.tracer, Gms, "degraded_lookup",
+                           "reliability", r.now,
+                           static_cast<int64_t>(fault_id),
+                           static_cast<int64_t>(page),
+                           static_cast<int64_t>(r.gms.server_of(page)));
+    }
+    if (plan.from_disk || degraded || !r.gms.in_global_memory(page)) {
         Tick lat = cfg_.disk.access_latency(cfg_.page_size);
         r.c_disk_faults->inc();
         disk_wait(r, lat);
@@ -266,7 +546,7 @@ Simulator::handle_page_fault(Run &r, PageId page, const TraceEvent &ev)
                         static_cast<int64_t>(page),
                         static_cast<int64_t>(cfg_.page_size));
     } else {
-        issue_transfers(r, page, fault_id, plan);
+        issue_transfers(r, page, fault_id, plan, sp, byte_in_sub);
         Tick waited = wait_until(r, [&r, page, sp] {
             PageTable::Frame *f = r.pt.find(page);
             return f && f->valid.test(sp);
@@ -321,7 +601,28 @@ Simulator::handle_subpage_fault(Run &r, PageId page,
                        static_cast<int64_t>(frame.fault_id),
                        static_cast<int64_t>(plan.segments.size()),
                        static_cast<int64_t>(plan.total_bytes()));
-    issue_transfers(r, page, frame.fault_id, plan);
+    if (server_unavailable(r, r.gms.server_of(page))) {
+        // Degrade the lazy subpage fetch: one disk access brings in
+        // the whole page (the disk path has no subpage granularity).
+        note_server_down(r, r.gms.server_of(page));
+        ++r.res.degraded_fetches;
+        r.c_degraded->inc();
+        Tick lat = cfg_.disk.access_latency(cfg_.page_size);
+        r.c_disk_faults->inc();
+        disk_wait(r, lat);
+        r.res.sp_latency += lat;
+        r.pt.mark_all_valid(page);
+        r.d_fault_wait->add(ticks::to_ns(lat));
+        SGMS_TRACE_SPAN(r.tracer, Gms, "degraded_disk", "reliability",
+                        r.now - lat, r.now,
+                        static_cast<int64_t>(frame.fault_id),
+                        static_cast<int64_t>(page),
+                        static_cast<int64_t>(cfg_.page_size));
+        if (frame.fault_id < r.res.faults.size())
+            r.res.faults[frame.fault_id].page_wait += lat;
+        return;
+    }
+    issue_transfers(r, page, frame.fault_id, plan, sp, byte_in_sub);
     Tick waited = wait_until(r, [&r, page, sp] {
         PageTable::Frame *f = r.pt.find(page);
         return f && f->valid.test(sp);
@@ -447,6 +748,11 @@ Simulator::run(TraceSource &trace)
     if (r.tlb)
         r.res.tlb_stats = r.tlb->stats();
     r.res.emulated_accesses = r.pal.emulated();
+    r.res.server_failures = r.gms.server_failures();
+    if (r.finj) {
+        r.metrics.counter("gms.server_failures")
+            .inc(r.res.server_failures);
+    }
 
     // End-of-run gauges (times in ns; utilizations as fractions),
     // then freeze the whole registry into the result.

@@ -19,6 +19,7 @@
 
 #include "core/sim_config.h"
 #include "core/sim_result.h"
+#include "fault/fault_injector.h"
 #include "gms/cluster_load.h"
 #include "gms/gms.h"
 #include "mem/page.h"
@@ -57,6 +58,10 @@ class Simulator
         obs::MetricsRegistry metrics;
         obs::Tracer *tracer;
 
+        // Fault injector (null when the plan is disabled); declared
+        // before net, which holds a pointer to it.
+        std::unique_ptr<fault::FaultInjector> finj;
+
         EventQueue eq;
         Network net;
         GmsCluster gms;
@@ -74,6 +79,15 @@ class Simulator
         obs::Counter *c_evictions;
         obs::Counter *c_disk_faults;
         obs::Distribution *d_fault_wait;
+
+        // Reliability metrics; registered (and non-null) only when
+        // fault injection is enabled, so fault-free runs keep a
+        // byte-identical metrics snapshot.
+        obs::Counter *c_retries = nullptr;
+        obs::Counter *c_timeouts = nullptr;
+        obs::Counter *c_degraded = nullptr;
+        obs::Counter *c_duplicates = nullptr;
+        obs::Distribution *d_retry_delay = nullptr;
 
         Tick now = 0;
         uint64_t ref_index = 0;
@@ -98,6 +112,9 @@ class Simulator
         }
     };
 
+    /** In-flight reliable fetch (reliability layer); see simulator.cc. */
+    struct PendingFetch;
+
     void drain_due_events(Run &r);
     Tick wait_until(Run &r, const std::function<bool()> &pred);
     void handle_page_fault(Run &r, PageId page, const TraceEvent &ev);
@@ -105,13 +122,30 @@ class Simulator
                               PageTable::Frame &frame,
                               const TraceEvent &ev);
     void issue_transfers(Run &r, PageId page, uint64_t fault_id,
-                         const FetchPlan &plan);
+                         const FetchPlan &plan, SubpageIndex faulted,
+                         uint32_t byte_in_sub);
     void deliver(Run &r, PageId page, uint64_t fault_id, uint64_t mask,
                  bool demand, Tick issued, Tick blocked_at_issue,
                  Tick delivered, Tick recv_cpu);
     void disk_wait(Run &r, Tick latency);
     void resolve_watch(Run &r, PageTable::Frame &frame,
                        SubpageIndex touched);
+
+    // Reliability layer (active only when cfg_.faults is enabled).
+    bool server_unavailable(Run &r, NodeId srv) const;
+    void note_server_down(Run &r, NodeId srv);
+    void issue_transfers_reliable(Run &r, PageId page,
+                                  uint64_t fault_id,
+                                  const FetchPlan &plan,
+                                  SubpageIndex faulted,
+                                  uint32_t byte_in_sub);
+    void start_attempt(Run &r, std::shared_ptr<PendingFetch> st,
+                       FetchPlan plan, Tick when);
+    void on_fetch_timeout(Run &r, std::shared_ptr<PendingFetch> st,
+                          uint64_t generation, Tick when);
+    void degrade_to_disk(Run &r, std::shared_ptr<PendingFetch> st,
+                         uint64_t missing, Tick when);
+    void finish_if_complete(Run &r, PendingFetch &st);
 
     SimConfig cfg_;
 };

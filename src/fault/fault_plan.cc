@@ -1,0 +1,175 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace sgms::fault
+{
+
+namespace
+{
+
+/** Map a per-kind key suffix onto a MsgKind, or -1 for "all". */
+int
+kind_of_suffix(const std::string &suffix)
+{
+    if (suffix.empty())
+        return -1;
+    for (size_t k = 0; k < kMsgKindCount; ++k) {
+        if (suffix == msg_kind_name(static_cast<MsgKind>(k)))
+            return static_cast<int>(k);
+    }
+    fatal("fault plan: unknown message kind '%s'", suffix.c_str());
+    return -1;
+}
+
+double
+parse_prob(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end || p < 0.0 || p > 1.0) {
+        fatal("fault plan: bad probability '%s=%s' (need 0..1)",
+              key.c_str(), value.c_str());
+    }
+    return p;
+}
+
+uint64_t
+parse_u64(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    uint64_t v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end)
+        fatal("fault plan: bad integer '%s=%s'", key.c_str(),
+              value.c_str());
+    return v;
+}
+
+/** "S:F[:R]" with F/R in fractional milliseconds. */
+ServerOutage
+parse_outage(const std::string &value)
+{
+    ServerOutage o;
+    size_t c1 = value.find(':');
+    if (c1 == std::string::npos)
+        fatal("fault plan: bad outage '%s' (need server:fail[:recover])",
+              value.c_str());
+    size_t c2 = value.find(':', c1 + 1);
+    o.server = static_cast<NodeId>(
+        parse_u64("down", value.substr(0, c1)));
+    std::string fail = value.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos
+                                        : c2 - c1 - 1);
+    char *end = nullptr;
+    double fail_ms = std::strtod(fail.c_str(), &end);
+    if (end == fail.c_str() || *end || fail_ms < 0)
+        fatal("fault plan: bad outage start '%s'", value.c_str());
+    o.fail_at = ticks::from_ms(fail_ms);
+    if (c2 != std::string::npos) {
+        std::string rec = value.substr(c2 + 1);
+        double rec_ms = std::strtod(rec.c_str(), &end);
+        if (end == rec.c_str() || *end || rec_ms < fail_ms)
+            fatal("fault plan: bad outage recovery '%s'",
+                  value.c_str());
+        o.recover_at = ticks::from_ms(rec_ms);
+    }
+    return o;
+}
+
+} // namespace
+
+bool
+FaultPlan::enabled() const
+{
+    if (duplicate_prob > 0.0 || !outages.empty())
+        return true;
+    for (size_t k = 0; k < kMsgKindCount; ++k) {
+        if (loss_prob[k] > 0.0 || corrupt_prob[k] > 0.0)
+            return true;
+    }
+    return false;
+}
+
+void
+FaultPlan::set_loss(double p)
+{
+    std::fill(loss_prob, loss_prob + kMsgKindCount, p);
+}
+
+void
+FaultPlan::set_corrupt(double p)
+{
+    std::fill(corrupt_prob, corrupt_prob + kMsgKindCount, p);
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        std::string tok = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? spec.size() : comma + 1;
+        if (tok.empty())
+            continue;
+        size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            fatal("fault plan: token '%s' is not key=value",
+                  tok.c_str());
+        std::string key = tok.substr(0, eq);
+        std::string value = tok.substr(eq + 1);
+        if (key == "seed") {
+            plan.seed = parse_u64(key, value);
+        } else if (key == "loss") {
+            plan.set_loss(parse_prob(key, value));
+        } else if (key == "corrupt") {
+            plan.set_corrupt(parse_prob(key, value));
+        } else if (key == "duplicate") {
+            plan.duplicate_prob = parse_prob(key, value);
+        } else if (key == "down") {
+            plan.outages.push_back(parse_outage(value));
+        } else if (key.rfind("loss-", 0) == 0) {
+            int k = kind_of_suffix(key.substr(5));
+            plan.loss_prob[k] = parse_prob(key, value);
+        } else if (key.rfind("corrupt-", 0) == 0) {
+            int k = kind_of_suffix(key.substr(8));
+            plan.corrupt_prob[k] = parse_prob(key, value);
+        } else {
+            fatal("fault plan: unknown key '%s'", key.c_str());
+        }
+    }
+    return plan;
+}
+
+Tick
+RetryPolicy::timeout_for(const NetParams &net, uint32_t bytes) const
+{
+    Tick expected = net.demand_fetch_latency(bytes);
+    Tick timeout =
+        static_cast<Tick>(timeout_multiplier *
+                          static_cast<double>(expected));
+    return std::max(timeout, min_timeout);
+}
+
+Tick
+RetryPolicy::backoff_delay(uint32_t attempt, Tick base_timeout,
+                           double jitter_u) const
+{
+    SGMS_ASSERT(attempt >= 2);
+    double factor = 1.0;
+    for (uint32_t i = 2; i < attempt; ++i)
+        factor *= backoff_base;
+    double scale =
+        1.0 + jitter_frac * (2.0 * jitter_u - 1.0);
+    double delay =
+        static_cast<double>(base_timeout) * factor * scale;
+    return std::max<Tick>(static_cast<Tick>(delay), 0);
+}
+
+} // namespace sgms::fault

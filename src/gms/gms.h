@@ -109,6 +109,37 @@ class GmsCluster
     void put_page(Tick now, PageId page, uint32_t page_bytes,
                   bool dirty);
 
+    /**
+     * Mark @p server failed until @p until (directory invalidation):
+     * the directory treats its stored pages as unreachable, so
+     * faults on them degrade straight to disk until recovery. Used
+     * by the reliability layer after a fetch from @p server
+     * exhausted its retries or its outage schedule fired.
+     */
+    void
+    mark_server_failed(Tick now, NodeId server, Tick until)
+    {
+        Tick &t = failed_until_[server];
+        if (until > t) {
+            t = until;
+            ++server_failures_;
+            SGMS_TRACE_INSTANT(tracer_, Gms, "server_failed", "gms",
+                               now, static_cast<int64_t>(server), 0,
+                               static_cast<int64_t>(server));
+        }
+    }
+
+    /** True if @p server is marked failed in the directory at @p now. */
+    bool
+    server_failed(NodeId server, Tick now) const
+    {
+        auto it = failed_until_.find(server);
+        return it != failed_until_.end() && now < it->second;
+    }
+
+    /** Directory invalidations recorded by mark_server_failed. */
+    uint64_t server_failures() const { return server_failures_; }
+
     NodeId requester() const { return requester_; }
     const GmsConfig &config() const { return cfg_; }
     uint64_t putpages() const { return putpages_; }
@@ -139,8 +170,11 @@ class GmsCluster
     obs::Counter *c_discards_ = nullptr;
     uint64_t putpages_ = 0;
     uint64_t discards_ = 0;
+    uint64_t server_failures_ = 0;
     std::unordered_set<PageId> evicted_;
     std::unordered_map<NodeId, ServerStore> per_server_;
+    /** Servers marked failed, and when the mark expires. */
+    std::unordered_map<NodeId, Tick> failed_until_;
 };
 
 } // namespace sgms

@@ -1,5 +1,8 @@
 #include "net/network.h"
 
+#include <string>
+
+#include "fault/fault_injector.h"
 #include "obs/debug.h"
 
 namespace sgms
@@ -7,21 +10,19 @@ namespace sgms
 
 Network::Network(EventQueue &eq, NetParams params, NodeId requester,
                  TimelineRecorder *recorder, obs::Tracer *tracer,
-                 obs::MetricsRegistry *metrics)
+                 obs::MetricsRegistry *metrics,
+                 fault::FaultInjector *faults)
     : eq_(eq), params_(params), requester_(requester),
-      recorder_(recorder), tracer_(tracer)
+      recorder_(recorder), tracer_(tracer), faults_(faults)
 {
     if (metrics) {
         c_messages_ = &metrics->counter("net.messages");
         c_bytes_ = &metrics->counter("net.bytes");
-        c_by_kind_[static_cast<int>(MsgKind::Request)] =
-            &metrics->counter("net.request_messages");
-        c_by_kind_[static_cast<int>(MsgKind::DemandData)] =
-            &metrics->counter("net.demand_messages");
-        c_by_kind_[static_cast<int>(MsgKind::BackgroundData)] =
-            &metrics->counter("net.background_messages");
-        c_by_kind_[static_cast<int>(MsgKind::PutPage)] =
-            &metrics->counter("net.putpage_messages");
+        for (size_t k = 0; k < kMsgKindCount; ++k) {
+            c_by_kind_[k] = &metrics->counter(
+                std::string("net.") +
+                msg_kind_name(static_cast<MsgKind>(k)) + "_messages");
+        }
     }
 }
 
@@ -117,6 +118,7 @@ struct MsgState
     /** Occupancy of the five stages, in pipeline order. */
     Tick cost[5];
     Tick recv_cost;
+    fault::MsgFate fate = fault::MsgFate::Deliver;
     std::function<void(Tick delivered, Tick recv_cpu_cost)> delivered;
 };
 
@@ -152,9 +154,47 @@ Network::run_stage(std::shared_ptr<void> opaque, int stage, Tick now)
     }
     res->submit(now, m->cost[stage], m->prio, m->id, m->kind,
                 [this, m, stage](Tick, Tick end) {
+                    // Injected losses take effect after the wire
+                    // stage: the message burned sender CPU, DMA and
+                    // wire time, then vanished.
+                    if (stage == 2 && m->fate == fault::MsgFate::Drop) {
+                        ++stats_.dropped;
+                        SGMS_TRACE_INSTANT(tracer_, Net, "drop",
+                                           "faults", end, m->id,
+                                           static_cast<int64_t>(m->dst),
+                                           static_cast<int64_t>(m->kind));
+                        SGMS_DPRINTF(Net, "msg %llu dropped on wire",
+                                     static_cast<unsigned long long>(
+                                         m->id));
+                        return;
+                    }
                     if (stage == 4) {
-                        if (m->delivered)
+                        if (m->fate == fault::MsgFate::Corrupt) {
+                            // Full delivery cost paid, payload
+                            // discarded by the receiver.
+                            ++stats_.corrupted;
+                            SGMS_TRACE_INSTANT(
+                                tracer_, Net, "corrupt", "faults", end,
+                                m->id, static_cast<int64_t>(m->dst),
+                                static_cast<int64_t>(m->kind));
+                            return;
+                        }
+                        if (m->delivered) {
                             m->delivered(end, m->recv_cost);
+                            if (m->fate == fault::MsgFate::Duplicate) {
+                                // The same payload lands again
+                                // back-to-back; the duplicate costs
+                                // no extra receive CPU in this model
+                                // and must be suppressed upstream.
+                                ++stats_.duplicated;
+                                SGMS_TRACE_INSTANT(
+                                    tracer_, Net, "duplicate",
+                                    "faults", end, m->id,
+                                    static_cast<int64_t>(m->dst),
+                                    static_cast<int64_t>(m->kind));
+                                m->delivered(end, 0);
+                            }
+                        }
                     } else {
                         run_stage(m, stage + 1, end);
                     }
@@ -182,6 +222,14 @@ Network::send(Tick now, SendArgs args)
     auto m = std::make_shared<MsgState>();
     m->id = id;
     m->kind = args.kind;
+    if (faults_ && faults_->enabled()) {
+        m->fate = faults_->fate(now, args.kind, args.src, args.dst);
+        if (m->fate != fault::MsgFate::Deliver) {
+            SGMS_DPRINTF(Net, "msg %llu fated to %s",
+                         static_cast<unsigned long long>(id),
+                         fault::msg_fate_name(m->fate));
+        }
+    }
     m->prio = priority_of(args.kind);
     m->src = args.src;
     m->dst = args.dst;

@@ -29,13 +29,22 @@
 namespace sgms
 {
 
+namespace fault
+{
+class FaultInjector;
+} // namespace fault
+
 /** Aggregate traffic statistics kept by the network. */
 struct NetStats
 {
     uint64_t messages = 0;
     uint64_t bytes = 0;
-    uint64_t messages_by_kind[4] = {0, 0, 0, 0};
-    uint64_t bytes_by_kind[4] = {0, 0, 0, 0};
+    uint64_t messages_by_kind[kMsgKindCount] = {};
+    uint64_t bytes_by_kind[kMsgKindCount] = {};
+    /** Messages lost or discarded by fault injection. */
+    uint64_t dropped = 0;
+    uint64_t corrupted = 0;
+    uint64_t duplicated = 0;
 };
 
 /** Cluster interconnect plus per-node CPU/DMA contention model. */
@@ -68,11 +77,15 @@ class Network
      * @param recorder  optional Figure-2 timeline capture
      * @param tracer    optional span tracer (per-stage Net spans)
      * @param metrics   optional registry for net.* counters
+     * @param faults    optional fault injector; when set, each send
+     *                  consults it for a message fate (drop on the
+     *                  wire, corrupt on arrival, duplicate delivery)
      */
     Network(EventQueue &eq, NetParams params, NodeId requester = 0,
             TimelineRecorder *recorder = nullptr,
             obs::Tracer *tracer = nullptr,
-            obs::MetricsRegistry *metrics = nullptr);
+            obs::MetricsRegistry *metrics = nullptr,
+            fault::FaultInjector *faults = nullptr);
 
     /** Inject a message at simulated time @p now; returns its id. */
     uint64_t send(Tick now, SendArgs args);
@@ -97,13 +110,14 @@ class Network
     NodeId requester_;
     TimelineRecorder *recorder_;
     obs::Tracer *tracer_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
     NetStats stats_;
     uint64_t next_msg_id_ = 1;
 
     // Registered metrics (null when no registry was attached).
     obs::Counter *c_messages_ = nullptr;
     obs::Counter *c_bytes_ = nullptr;
-    obs::Counter *c_by_kind_[4] = {nullptr, nullptr, nullptr, nullptr};
+    obs::Counter *c_by_kind_[kMsgKindCount] = {};
 
     std::map<NodeId, std::unique_ptr<StageResource>> cpus_;
     std::map<NodeId, std::unique_ptr<StageResource>> dmas_;

@@ -27,7 +27,23 @@ enum class MsgKind : uint8_t
     DemandData,     ///< the faulted subpage (program blocks on it)
     BackgroundData, ///< rest-of-page / pipelined follow-on subpages
     PutPage,        ///< eviction traffic to global memory
+    // When adding a kind: keep kLastMsgKind below in sync, name it in
+    // msg_kind_name(), and give it a priority in Network::priority_of.
 };
+
+/** Last enumerator of MsgKind; update together with the enum. */
+inline constexpr MsgKind kLastMsgKind = MsgKind::PutPage;
+
+/**
+ * Number of MsgKind enumerators. Every per-kind array (NetStats,
+ * Network's per-kind counters, FaultPlan probabilities) is sized by
+ * this, so a new kind can never silently index out of bounds.
+ */
+inline constexpr size_t kMsgKindCount =
+    static_cast<size_t>(kLastMsgKind) + 1;
+
+static_assert(kMsgKindCount >= 1 && kMsgKindCount <= 64,
+              "MsgKind count out of sane range");
 
 /** Pipeline components, for timeline capture (Figure 2 rows). */
 enum class Component : uint8_t

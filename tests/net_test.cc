@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
 #include <vector>
 
 #include "net/network.h"
@@ -19,6 +21,24 @@ namespace sgms
 {
 namespace
 {
+
+TEST(MsgKinds, EveryEnumeratorHasAName)
+{
+    // kMsgKindCount is derived from kLastMsgKind; anyone extending
+    // the enum must extend msg_kind_name (and priority_of) with it.
+    static_assert(kMsgKindCount ==
+                  static_cast<size_t>(MsgKind::PutPage) + 1);
+    std::set<std::string> names;
+    for (size_t k = 0; k < kMsgKindCount; ++k) {
+        const char *n = msg_kind_name(static_cast<MsgKind>(k));
+        ASSERT_NE(n, nullptr);
+        EXPECT_STRNE(n, "?") << "MsgKind " << k << " lacks a name";
+        names.insert(n);
+    }
+    // Names are distinct (a copy-pasted duplicate would alias
+    // per-kind metrics).
+    EXPECT_EQ(names.size(), kMsgKindCount);
+}
 
 TEST(EventQueue, OrdersByTime)
 {

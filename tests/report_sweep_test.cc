@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 
 #include "core/json_report.h"
@@ -44,6 +47,84 @@ TEST(JsonReport, EscapesStrings)
     EXPECT_EQ(json_escape("a\nb"), "a\\nb");
     EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
     EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(JsonReport, EscapesEveryControlCharacter)
+{
+    for (int c = 0; c < 0x20; ++c) {
+        std::string in(1, static_cast<char>(c));
+        std::string out = json_escape(in);
+        // Every control char must be escaped to *something*...
+        ASSERT_GE(out.size(), 2u) << "char " << c << " unescaped";
+        EXPECT_EQ(out[0], '\\') << "char " << c;
+        // ... and the named short escapes are used where they exist.
+        if (c == '\n')
+            EXPECT_EQ(out, "\\n");
+        else if (c == '\t')
+            EXPECT_EQ(out, "\\t");
+        else {
+            char want[8];
+            std::snprintf(want, sizeof(want), "\\u%04x", c);
+            EXPECT_EQ(out, want) << "char " << c;
+        }
+    }
+    // Quotes and backslashes, alone and interleaved with text.
+    EXPECT_EQ(json_escape("\"\\\""), "\\\"\\\\\\\"");
+    EXPECT_EQ(json_escape("C:\\path\\\"x\""),
+              "C:\\\\path\\\\\\\"x\\\"");
+    // DEL (0x7f) and 8-bit bytes pass through untouched (the report
+    // never escapes above 0x1f).
+    EXPECT_EQ(json_escape("\x7f"), "\x7f");
+}
+
+TEST(JsonReport, PythonRoundTripsFullReport)
+{
+    if (std::system("python3 -c 'pass' >/dev/null 2>&1") != 0)
+        GTEST_SKIP() << "python3 not available";
+
+    SimResult r = tiny_result();
+    r.app = "quote\"back\\slash\nnewline\ttab\x01!";
+    r.retries = 3;
+    r.timeouts = 2;
+    r.degraded_fetches = 1;
+    r.net_stats.dropped = 4;
+    r.metrics.push_back({"fault.msgs_dropped",
+                         obs::MetricKind::Counter, 4.0, 0, 0, 0, 0});
+    r.metrics.push_back({"gms.retry_delay_ns",
+                         obs::MetricKind::Distribution, 6.0e6, 3,
+                         2.0e6, 1.0e6, 3.0e6});
+
+    std::string path = ::testing::TempDir() + "report_roundtrip.json";
+    {
+        std::ofstream os(path);
+        write_results_json(os, {r, tiny_result()},
+                           /*include_faults=*/true);
+    }
+    // json.loads must accept the file and recover the exact strings
+    // and counters we wrote, proving the escaping is real JSON.
+    std::string script =
+        "import json,sys\n"
+        "rs=json.load(open(sys.argv[1]))\n"
+        "assert len(rs)==2, len(rs)\n"
+        "r=rs[0]\n"
+        "assert r['app']=='quote\"back\\\\slash\\nnewline\\ttab"
+        "\\x01!', repr(r['app'])\n"
+        "assert r['retries']==3 and r['timeouts']==2\n"
+        "assert r['degraded_fetches']==1\n"
+        "assert r['msgs_dropped']==4\n"
+        "assert r['metrics']['fault.msgs_dropped']==4\n"
+        "assert r['metrics']['gms.retry_delay_ns']['count']==3\n"
+        "assert len(r['faults'])==2\n"
+        "assert rs[1]['app']=='test\"app'\n";
+    std::string spath = ::testing::TempDir() + "report_roundtrip.py";
+    {
+        std::ofstream os(spath);
+        os << script;
+    }
+    std::string cmd = "python3 " + spath + " " + path;
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    std::remove(path.c_str());
+    std::remove(spath.c_str());
 }
 
 TEST(JsonReport, EmitsCoreFields)
