@@ -16,8 +16,12 @@
 #define SGMS_BENCH_BENCH_COMMON_H
 
 #include <cstdio>
+#include <functional>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/chart.h"
 #include "common/logging.h"
@@ -26,6 +30,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "core/experiment.h"
+#include "exec/parallel_runner.h"
 #include "obs/session.h"
 
 namespace sgms::bench
@@ -49,13 +54,56 @@ section(const std::string &name)
     std::printf("\n--- %s ---\n", name.c_str());
 }
 
-/** Run one experiment and echo a progress line. */
+/**
+ * The process-wide execution engine, configured from the environment
+ * (SGMS_JOBS, SGMS_CACHE, SGMS_CACHE_DIR). Every bench routes its
+ * experiments through it, so `SGMS_CACHE=1 ./build/bench/fig3_*`
+ * replays unchanged points from the result cache with zero per-bench
+ * code, and batched sections parallelize under SGMS_JOBS=N.
+ */
+inline exec::Engine &
+engine()
+{
+    return exec::Engine::shared();
+}
+
+/** Run one experiment (through the shared engine's cache). */
 inline SimResult
 run_labeled(const Experiment &ex)
 {
-    SimResult r = ex.run();
+    SimResult r = engine().run(ex);
     std::fflush(stdout);
     return r;
+}
+
+/**
+ * Run a batch of experiments, results in input order. Under
+ * SGMS_JOBS=N the points execute concurrently; output is identical
+ * to running them one by one.
+ */
+inline std::vector<SimResult>
+run_batch(const std::vector<Experiment> &points)
+{
+    std::vector<SimResult> out = engine().run_all(points);
+    std::fflush(stdout);
+    return out;
+}
+
+/**
+ * A progress callback that prints "  app label mem" lines without
+ * interleaving: safe to hand to run_sweep/run_all at any job count
+ * (the lock keeps each line atomic; see the sweep.h contract).
+ */
+inline std::function<void(const Experiment &)>
+progress_printer()
+{
+    auto mutex = std::make_shared<std::mutex>();
+    return [mutex](const Experiment &ex) {
+        std::lock_guard<std::mutex> lock(*mutex);
+        std::printf("  %s %s %s\n", ex.app.c_str(),
+                    ex.label().c_str(), mem_config_name(ex.mem));
+        std::fflush(stdout);
+    };
 }
 
 /**

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Execution-engine throughput: points/sec for the same experiment
+ * grid run three ways —
+ *
+ *   serial     jobs=1, cache off (the historical run_sweep path)
+ *   parallel   jobs=N, cache off (work-stealing pool, deterministic
+ *              merge; N = SGMS_JOBS or all hardware threads)
+ *   warm-cache jobs=N, every point served from the result cache
+ *
+ * Verifies along the way that all three produce byte-identical
+ * result blobs and json_report output, and that the warm pass
+ * simulates zero points. Emits a machine-readable summary (default
+ * results/BENCH_exec.json) to track the perf trajectory in CI.
+ *
+ * Usage: exec_throughput [--scale=S] [--jobs=N] [--out=FILE]
+ *                        [--keep-cache-dir=DIR]
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "core/json_report.h"
+#include "core/sweep.h"
+#include "exec/result_codec.h"
+#include "obs/metrics.h"
+
+using namespace sgms;
+
+namespace
+{
+
+double
+seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+std::string
+blobs_of(const std::vector<SimResult> &results)
+{
+    std::ostringstream os;
+    for (const auto &r : results)
+        exec::write_result_blob(os, r);
+    return os.str();
+}
+
+std::string
+report_of(const std::vector<SimResult> &results)
+{
+    std::ostringstream os;
+    write_results_json(os, results, /*include_faults=*/true);
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    // Default scale keeps the 28-point grid CI-sized; SGMS_SCALE or
+    // --scale raise it for steadier numbers on a quiet box.
+    double scale = opts.get_double("scale", scale_from_env(0.1));
+    unsigned jobs = static_cast<unsigned>(opts.get_u64(
+        "jobs", env_u64("SGMS_JOBS", 0)));
+    if (jobs == 0)
+        jobs = exec::ThreadPool::hardware_workers();
+    if (jobs < 2)
+        jobs = 2; // exercise the pool even on a 1-core box
+    std::string out_path = opts.get("out", "results/BENCH_exec.json");
+
+    bench::banner("EXEC", "engine throughput: serial vs parallel vs "
+                          "warm cache",
+                  scale);
+
+    SweepSpec spec;
+    spec.apps = {"modula3", "gdb"};
+    spec.policies = {"fullpage", "eager", "pipelining"};
+    spec.subpage_sizes = {512, 1024, 2048};
+    spec.mems = {MemConfig::Half, MemConfig::Quarter};
+    spec.scale = scale;
+    std::vector<Experiment> points = exec::expand_sweep(spec);
+    std::printf("grid: %zu points, %u workers\n", points.size(),
+                jobs);
+
+    // Hermetic cache directory unless the caller wants to keep one.
+    std::string cache_dir = opts.get("keep-cache-dir", "");
+    bool scratch_cache = cache_dir.empty();
+    if (scratch_cache) {
+        cache_dir = (std::filesystem::temp_directory_path() /
+                     ("sgms-exec-bench-" +
+                      std::to_string(::getpid())))
+                        .string();
+    }
+
+    bench::section("serial (jobs=1, cache off)");
+    exec::ExecOptions serial_eo;
+    serial_eo.jobs = 1;
+    exec::Engine serial_engine(serial_eo);
+    auto t0 = std::chrono::steady_clock::now();
+    auto serial = serial_engine.run_all(points);
+    double serial_s = seconds_since(t0);
+    std::printf("%.2f s, %.2f points/s\n", serial_s,
+                points.size() / serial_s);
+
+    bench::section("parallel (cache off)");
+    exec::ExecOptions par_eo;
+    par_eo.jobs = jobs;
+    exec::Engine par_engine(par_eo);
+    t0 = std::chrono::steady_clock::now();
+    auto parallel = par_engine.run_all(points);
+    double parallel_s = seconds_since(t0);
+    std::printf("%.2f s, %.2f points/s (%.2fx serial)\n", parallel_s,
+                points.size() / parallel_s, serial_s / parallel_s);
+
+    bench::section("warm cache");
+    exec::ExecOptions cache_eo;
+    cache_eo.jobs = jobs;
+    cache_eo.cache_enabled = true;
+    cache_eo.cache_dir = cache_dir;
+    {
+        exec::Engine cold(cache_eo); // populate
+        cold.run_all(points);
+    }
+    exec::Engine warm_engine(cache_eo);
+    t0 = std::chrono::steady_clock::now();
+    auto warm = warm_engine.run_all(points);
+    double warm_s = seconds_since(t0);
+    exec::ExecStats warm_stats = warm_engine.stats();
+    std::printf("%.2f s, %.2f points/s (%.2fx serial), "
+                "%llu/%zu points from cache\n",
+                warm_s, points.size() / warm_s, serial_s / warm_s,
+                static_cast<unsigned long long>(
+                    warm_stats.points_cached),
+                points.size());
+
+    bool identical = blobs_of(serial) == blobs_of(parallel) &&
+                     report_of(serial) == report_of(parallel) &&
+                     report_of(serial) == report_of(warm);
+    bool all_cached = warm_stats.points_cached == points.size() &&
+                      warm_stats.points_run == 0;
+    std::printf("byte-identical results: %s\n",
+                identical ? "yes" : "NO");
+    std::printf("warm pass simulated zero points: %s\n",
+                all_cached ? "yes" : "NO");
+
+    bench::section("engine metrics");
+    obs::print_metrics(std::cout, par_engine.metrics_snapshot());
+
+    if (scratch_cache) {
+        std::error_code ec;
+        std::filesystem::remove_all(cache_dir, ec);
+    }
+
+    std::ofstream out(out_path);
+    if (out) {
+        char buf[1024];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"bench\":\"exec_throughput\",\"points\":%zu,"
+            "\"scale\":%g,\"jobs\":%u,"
+            "\"serial_s\":%.4f,\"parallel_s\":%.4f,"
+            "\"warm_cache_s\":%.4f,"
+            "\"serial_pps\":%.3f,\"parallel_pps\":%.3f,"
+            "\"warm_cache_pps\":%.3f,"
+            "\"parallel_speedup\":%.3f,\"warm_cache_speedup\":%.3f,"
+            "\"identical\":%s,\"warm_all_cached\":%s}\n",
+            points.size(), scale, jobs, serial_s, parallel_s, warm_s,
+            points.size() / serial_s, points.size() / parallel_s,
+            points.size() / warm_s, serial_s / parallel_s,
+            serial_s / warm_s, identical ? "true" : "false",
+            all_cached ? "true" : "false");
+        out << buf;
+        std::printf("wrote %s\n", out_path.c_str());
+    } else {
+        warn("cannot write %s", out_path.c_str());
+    }
+
+    return (identical && all_cached) ? 0 : 1;
+}

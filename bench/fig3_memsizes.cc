@@ -32,15 +32,24 @@ main()
         ex.scale = scale;
         ex.mem = mem;
 
-        std::vector<std::pair<std::string, SimResult>> results;
+        // Batch the whole section: under SGMS_JOBS=N the points run
+        // concurrently; the result order matches the build order.
+        std::vector<Experiment> points;
         ex.policy = "disk";
-        results.emplace_back(ex.label(), bench::run_labeled(ex));
+        points.push_back(ex);
         ex.policy = "fullpage";
-        results.emplace_back(ex.label(), bench::run_labeled(ex));
+        points.push_back(ex);
         ex.policy = "eager";
         for (uint32_t sp : bench::paper_subpage_sizes()) {
             ex.subpage_size = sp;
-            results.emplace_back(ex.label(), bench::run_labeled(ex));
+            points.push_back(ex);
+        }
+        std::vector<SimResult> batch = bench::run_batch(points);
+
+        std::vector<std::pair<std::string, SimResult>> results;
+        for (size_t i = 0; i < points.size(); ++i) {
+            results.emplace_back(points[i].label(),
+                                 std::move(batch[i]));
         }
 
         const SimResult &fullpage = results[1].second;

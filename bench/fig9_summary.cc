@@ -28,20 +28,29 @@ main()
              "io-overlap share", "faults"});
     BarChart chart("% reduction vs p_8192", "%");
 
-    double min_eff = 1, max_eff = 0, min_pipe = 1, max_pipe = 0;
+    // The full app x policy grid as one batch: SGMS_JOBS=N runs the
+    // 15 points concurrently with identical output.
+    std::vector<Experiment> points;
     for (const auto &app : app_names()) {
         Experiment ex;
         ex.app = app;
         ex.scale = scale;
         ex.mem = MemConfig::Half;
         ex.subpage_size = 1024;
+        for (const char *policy :
+             {"fullpage", "eager", "pipelining"}) {
+            ex.policy = policy;
+            points.push_back(ex);
+        }
+    }
+    std::vector<SimResult> batch = bench::run_batch(points);
 
-        ex.policy = "fullpage";
-        SimResult base = bench::run_labeled(ex);
-        ex.policy = "eager";
-        SimResult eager = bench::run_labeled(ex);
-        ex.policy = "pipelining";
-        SimResult pipe = bench::run_labeled(ex);
+    double min_eff = 1, max_eff = 0, min_pipe = 1, max_pipe = 0;
+    size_t next = 0;
+    for (const auto &app : app_names()) {
+        SimResult &base = batch[next++];
+        SimResult &eager = batch[next++];
+        SimResult &pipe = batch[next++];
 
         double eff = eager.reduction_vs(base);
         double pr = pipe.reduction_vs(base);

@@ -7,15 +7,24 @@
  *   export_grid [--apps=a,b,..] [--policies=p,q,..]
  *               [--subpages=1024,2048] [--mems=half,quarter]
  *               [--scale=S] [--json=FILE] [--csv=FILE]
+ *               [--jobs=N] [--cache-dir=DIR] [--no-cache]
  *               [--config-overrides...]
  *
  * Defaults reproduce the Figure 9 grid (all apps, fullpage + eager +
  * pipelining at 1K, 1/2-mem).
+ *
+ * --jobs=N shards the grid across N worker threads (0 = all cores;
+ * SGMS_JOBS env). Output is byte-identical to --jobs=1: results are
+ * merged back into serial grid order, and the progress lines are
+ * mutex-guarded (they may print in completion order). --cache-dir
+ * enables the content-addressed result cache, so a re-run recomputes
+ * only points whose configuration changed.
  */
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -25,6 +34,7 @@
 #include "core/config_override.h"
 #include "core/json_report.h"
 #include "core/sweep.h"
+#include "exec/parallel_runner.h"
 
 using namespace sgms;
 
@@ -52,8 +62,10 @@ main(int argc, char **argv)
     if (opts.has("help")) {
         std::printf("usage: export_grid [--apps=..] [--policies=..] "
                     "[--subpages=..] [--mems=..]\n  [--scale=S] "
-                    "[--json=FILE] [--csv=FILE] [overrides]\n%s\n",
-                    config_override_help());
+                    "[--json=FILE] [--csv=FILE] [--jobs=N] "
+                    "[--cache-dir=DIR] [--no-cache] [overrides]\n"
+                    "%s\n%s\n",
+                    config_override_help(), exec::ExecOptions::help());
         return 0;
     }
 
@@ -75,13 +87,26 @@ main(int argc, char **argv)
     spec.scale = opts.get_double("scale", scale_from_env(1.0));
     apply_config_overrides(spec.base, opts);
 
-    std::printf("running %zu experiment points (scale %g)\n",
-                spec.point_count(), spec.scale);
-    auto results = run_sweep(spec, [](const Experiment &ex) {
-        std::printf("  %s %s %s\n", ex.app.c_str(),
-                    ex.label().c_str(), mem_config_name(ex.mem));
-        std::fflush(stdout);
-    });
+    exec::ExecOptions eo = exec::ExecOptions::from_options(opts);
+    std::printf("running %zu experiment points (scale %g, jobs %u, "
+                "cache %s)\n",
+                spec.point_count(), spec.scale, eo.jobs,
+                eo.cache_enabled ? eo.cache_dir.c_str() : "off");
+    // Progress may fire from worker threads (sweep.h contract); the
+    // mutex keeps each line atomic instead of interleaving.
+    std::mutex progress_mutex;
+    exec::Engine engine(eo);
+    auto results =
+        engine.run_sweep(spec, [&](const Experiment &ex) {
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            std::printf("  %s %s %s\n", ex.app.c_str(),
+                        ex.label().c_str(), mem_config_name(ex.mem));
+            std::fflush(stdout);
+        });
+    exec::ExecStats es = engine.stats();
+    std::printf("engine: %llu simulated, %llu from cache\n",
+                static_cast<unsigned long long>(es.points_run),
+                static_cast<unsigned long long>(es.points_cached));
 
     // CSV summary.
     Table t({"app", "policy", "subpage", "mem_pages", "faults",

@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus a strict warnings pass.
 #
-#   scripts/check.sh          configure + build + ctest (tier 1),
-#                             then a -Wall -Wextra -Werror rebuild in
-#                             a separate tree (build-strict/) and an
-#                             ASan+UBSan build + ctest (build-asan/)
+#   scripts/check.sh          configure + build + ctest (tier 1, run
+#                             under SGMS_JOBS=2 so the parallel
+#                             engine path is what gets tested), then
+#                             a -Wall -Wextra -Werror rebuild in a
+#                             separate tree (build-strict/), an
+#                             ASan+UBSan build + ctest (build-asan/),
+#                             a TSan build + ctest (build-tsan/), and
+#                             the exec_throughput bench (emits
+#                             results/BENCH_exec.json)
 #   scripts/check.sh --quick  tier 1 only
 #
 # Exits non-zero on the first failure.
@@ -19,8 +24,10 @@ echo "== tier 1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 
-echo "== tier 1: ctest =="
-(cd build && ctest --output-on-failure -j "$(nproc)")
+echo "== tier 1: ctest (SGMS_JOBS=2) =="
+# SGMS_JOBS=2 routes every run_sweep/bench batch in the suite through
+# the work-stealing engine; results must stay byte-identical.
+(cd build && SGMS_JOBS=2 ctest --output-on-failure -j "$(nproc)")
 
 echo "== smoke: trace export =="
 tmp_trace="$(mktemp /tmp/sgms-trace.XXXXXX.json)"
@@ -52,6 +59,22 @@ if [[ $quick -eq 0 ]]; then
         ASAN_OPTIONS=detect_leaks=0 \
         UBSAN_OPTIONS=halt_on_error=1 \
         ctest --output-on-failure -j "$(nproc)")
+
+    echo "== sanitizers: TSan build + ctest (SGMS_JOBS=2) =="
+    # TSan is incompatible with ASan/LSan, hence its own tree; run
+    # with the engine forced parallel so worker/submitter/cache races
+    # actually get exercised.
+    cmake -B build-tsan -S . -DSGMS_SANITIZE=thread >/dev/null
+    cmake --build build-tsan -j "$(nproc)"
+    (cd build-tsan &&
+        SGMS_JOBS=2 \
+        TSAN_OPTIONS=halt_on_error=1 \
+        ctest --output-on-failure -j "$(nproc)")
+
+    echo "== bench: exec engine throughput =="
+    mkdir -p results
+    SGMS_SCALE="${SGMS_SCALE:-0.05}" \
+        ./build/bench/exec_throughput --out=results/BENCH_exec.json
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,420 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sgms
+{
+
+namespace
+{
+
+const JsonValue &
+null_value()
+{
+    static const JsonValue v;
+    return v;
+}
+
+const std::string &
+empty_string()
+{
+    static const std::string s;
+    return s;
+}
+
+} // namespace
+
+bool
+JsonValue::as_bool(bool fallback) const
+{
+    return is_bool() ? bool_ : fallback;
+}
+
+double
+JsonValue::as_double(double fallback) const
+{
+    if (!is_number())
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(scalar_.c_str(), &end);
+    return end == scalar_.c_str() ? fallback : v;
+}
+
+int64_t
+JsonValue::as_i64(int64_t fallback) const
+{
+    if (!is_number())
+        return fallback;
+    // Integral token: exact 64-bit parse; otherwise round-trip the
+    // double (fractional values in a tick field are caller bugs).
+    if (scalar_.find_first_of(".eE") == std::string::npos) {
+        char *end = nullptr;
+        long long v = std::strtoll(scalar_.c_str(), &end, 10);
+        return end == scalar_.c_str() ? fallback : v;
+    }
+    return static_cast<int64_t>(as_double(
+        static_cast<double>(fallback)));
+}
+
+uint64_t
+JsonValue::as_u64(uint64_t fallback) const
+{
+    if (!is_number())
+        return fallback;
+    if (scalar_.empty() || scalar_[0] == '-')
+        return fallback;
+    if (scalar_.find_first_of(".eE") == std::string::npos) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(scalar_.c_str(), &end, 10);
+        return end == scalar_.c_str() ? fallback : v;
+    }
+    return static_cast<uint64_t>(as_double(
+        static_cast<double>(fallback)));
+}
+
+const std::string &
+JsonValue::as_string() const
+{
+    return is_string() ? scalar_ : empty_string();
+}
+
+const JsonValue &
+JsonValue::operator[](const std::string &key) const
+{
+    auto it = object_.find(key);
+    return it == object_.end() ? null_value() : it->second;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return object_.count(key) != 0;
+}
+
+uint64_t
+JsonValue::get_u64(const std::string &key, uint64_t fallback) const
+{
+    return (*this)[key].as_u64(fallback);
+}
+
+int64_t
+JsonValue::get_i64(const std::string &key, int64_t fallback) const
+{
+    return (*this)[key].as_i64(fallback);
+}
+
+double
+JsonValue::get_double(const std::string &key, double fallback) const
+{
+    return (*this)[key].as_double(fallback);
+}
+
+bool
+JsonValue::get_bool(const std::string &key, bool fallback) const
+{
+    return (*this)[key].as_bool(fallback);
+}
+
+std::string
+JsonValue::get_string(const std::string &key,
+                      const std::string &fallback) const
+{
+    const JsonValue &v = (*this)[key];
+    return v.is_string() ? v.as_string() : fallback;
+}
+
+/** Single-pass recursive-descent parser over a string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    bool
+    parse_document(JsonValue &out)
+    {
+        skip_ws();
+        if (!parse_value(out, 0))
+            return false;
+        skip_ws();
+        return pos_ == text_.size(); // no trailing garbage
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    parse_value(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return false;
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{':
+            return parse_object(out, depth);
+          case '[':
+            return parse_array(out, depth);
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parse_string(out.scalar_);
+          case 't':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            return consume_literal("true");
+          case 'f':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            return consume_literal("false");
+          case 'n':
+            out.kind_ = JsonValue::Kind::Null;
+            return consume_literal("null");
+          default:
+            return parse_number(out);
+        }
+    }
+
+    bool
+    parse_object(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out.kind_ = JsonValue::Kind::Object;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            if (peek() != '"')
+                return false;
+            std::string key;
+            if (!parse_string(key))
+                return false;
+            skip_ws();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skip_ws();
+            JsonValue member;
+            if (!parse_value(member, depth + 1))
+                return false;
+            out.object_.emplace(std::move(key), std::move(member));
+            skip_ws();
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parse_array(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out.kind_ = JsonValue::Kind::Array;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            JsonValue item;
+            if (!parse_value(item, depth + 1))
+                return false;
+            out.array_.push_back(std::move(item));
+            skip_ws();
+            char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            if (c == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    parse_string(std::string &out)
+    {
+        ++pos_; // '"'
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return false;
+                char esc = text_[pos_ + 1];
+                pos_ += 2;
+                switch (esc) {
+                  case '"':
+                    out += '"';
+                    break;
+                  case '\\':
+                    out += '\\';
+                    break;
+                  case '/':
+                    out += '/';
+                    break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return false;
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        int d = hex_digit(text_[pos_ + i]);
+                        if (d < 0)
+                            return false;
+                        cp = cp * 16 + static_cast<unsigned>(d);
+                    }
+                    pos_ += 4;
+                    append_utf8(out, cp);
+                    break;
+                  }
+                  default:
+                    return false;
+                }
+                continue;
+            }
+            // Raw control characters are invalid JSON, but our own
+            // emitters always escape them; reject to catch garbage.
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false;
+            out += c;
+            ++pos_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parse_number(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return false;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return false;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        out.kind_ = JsonValue::Kind::Number;
+        out.scalar_ = text_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    consume_literal(const char *lit)
+    {
+        for (const char *p = lit; *p; ++p, ++pos_) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                return false;
+        }
+        return true;
+    }
+
+    static int
+    hex_digit(char c)
+    {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    }
+
+    static void
+    append_utf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            // Surrogate pairs are not combined (the emitters never
+            // write astral-plane text); each half encodes separately.
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    void
+    skip_ws()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out)
+{
+    out = JsonValue();
+    JsonParser p(text);
+    if (p.parse_document(out))
+        return true;
+    out = JsonValue();
+    return false;
+}
+
+} // namespace sgms

@@ -102,6 +102,26 @@ Options::get_bytes(const std::string &name, uint64_t fallback) const
     return parse_bytes(it->second);
 }
 
+std::string
+env_string(const char *name, const std::string &fallback)
+{
+    const char *v = std::getenv(name);
+    return (v && *v) ? std::string(v) : fallback;
+}
+
+uint64_t
+env_u64(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end)
+        fatal("%s: bad integer '%s'", name, v);
+    return parsed;
+}
+
 std::vector<std::string>
 Options::unused() const
 {

@@ -62,6 +62,16 @@ class Options
     std::vector<std::string> positional_;
 };
 
+/**
+ * Environment-variable getters used by the flag/env layering of the
+ * execution engine (`--jobs` over SGMS_JOBS, `--cache-dir` over
+ * SGMS_CACHE_DIR, ...): unset and empty both mean "use the fallback".
+ */
+std::string env_string(const char *name, const std::string &fallback);
+
+/** fatal() on a set-but-malformed integer (mirrors get_u64). */
+uint64_t env_u64(const char *name, uint64_t fallback);
+
 } // namespace sgms
 
 #endif // SGMS_COMMON_OPTIONS_H

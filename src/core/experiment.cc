@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <map>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/units.h"
@@ -41,8 +42,14 @@ uint64_t
 app_footprint_pages(const std::string &app, double scale,
                     uint32_t page_size)
 {
+    // Exec-engine workers hit this concurrently; the lock is held
+    // across the measurement so the first caller of a key computes
+    // it once and the rest wait for the memo instead of redundantly
+    // streaming the same trace on every worker.
+    static std::mutex mutex;
     static std::map<std::tuple<std::string, double, uint32_t>, uint64_t>
         cache;
+    std::lock_guard<std::mutex> lock(mutex);
     auto key = std::make_tuple(app, scale, page_size);
     auto it = cache.find(key);
     if (it != cache.end())

@@ -1,5 +1,7 @@
 #include "core/sweep.h"
 
+#include "exec/parallel_runner.h"
+
 namespace sgms
 {
 
@@ -30,33 +32,15 @@ std::vector<SimResult>
 run_sweep(const SweepSpec &spec,
           const std::function<void(const Experiment &)> &progress)
 {
-    std::vector<SimResult> out;
-    out.reserve(spec.point_count());
-    for (const auto &app : spec.apps) {
-        for (MemConfig mem : spec.mems) {
-            for (const auto &policy : spec.policies) {
-                std::vector<uint32_t> sizes =
-                    has_subpage_dimension(policy)
-                        ? spec.subpage_sizes
-                        : std::vector<uint32_t>{spec.base.page_size};
-                for (uint32_t sp : sizes) {
-                    Experiment ex;
-                    ex.app = app;
-                    ex.scale = spec.scale;
-                    ex.seed = spec.seed;
-                    ex.policy = policy;
-                    ex.subpage_size = sp;
-                    ex.mem = mem;
-                    ex.base = spec.base;
-                    if (progress)
-                        progress(ex);
-                    SimResult r = ex.run();
-                    out.push_back(std::move(r));
-                }
-            }
-        }
-    }
-    return out;
+    return run_sweep(spec, exec::ExecOptions::from_env(), progress);
+}
+
+std::vector<SimResult>
+run_sweep(const SweepSpec &spec, const exec::ExecOptions &eo,
+          const std::function<void(const Experiment &)> &progress)
+{
+    exec::Engine engine(eo);
+    return engine.run_sweep(spec, progress);
 }
 
 } // namespace sgms

@@ -3,6 +3,11 @@
  * Grid-sweep driver: run a cross product of applications, policies,
  * subpage sizes and memory configurations, collecting SimResults.
  * Used by the data-export tooling and sensitivity studies.
+ *
+ * Since the exec engine landed, run_sweep is a thin front end over
+ * exec::Engine (exec/parallel_runner.h): points are sharded across a
+ * work-stealing pool and merged back into serial order, so the
+ * result vector is byte-identical whatever the job count.
  */
 
 #ifndef SGMS_CORE_SWEEP_H
@@ -16,6 +21,11 @@
 
 namespace sgms
 {
+
+namespace exec
+{
+struct ExecOptions;
+} // namespace exec
 
 /** A grid of experiments. */
 struct SweepSpec
@@ -37,10 +47,26 @@ struct SweepSpec
 /**
  * Run the whole grid. Policies without a subpage dimension
  * ("fullpage", "disk") run once per (app, mem) regardless of the
- * subpage list. @p progress, if set, is called before each run.
+ * subpage list.
+ *
+ * Execution is governed by the environment (SGMS_JOBS, SGMS_CACHE,
+ * SGMS_CACHE_DIR — see exec/exec_options.h); the default is the
+ * serial fast path. Results always come back in serial grid order.
+ *
+ * Progress-callback CONTRACT: @p progress, if set, fires exactly
+ * once per point, before that point runs — but when jobs > 1 it
+ * fires from WORKER threads, concurrently and in completion order.
+ * Callbacks must be thread-safe: guard printing with a mutex, count
+ * with atomics. (Enforced: the engine asserts one call per point.)
  */
 std::vector<SimResult>
 run_sweep(const SweepSpec &spec,
+          const std::function<void(const Experiment &)> &progress =
+              nullptr);
+
+/** run_sweep with explicit execution options (--jobs/--cache-dir). */
+std::vector<SimResult>
+run_sweep(const SweepSpec &spec, const exec::ExecOptions &eo,
           const std::function<void(const Experiment &)> &progress =
               nullptr);
 

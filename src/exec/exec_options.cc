@@ -1,0 +1,54 @@
+#include "exec/exec_options.h"
+
+#include "exec/thread_pool.h"
+
+namespace sgms::exec
+{
+
+namespace
+{
+
+unsigned
+resolve_jobs(uint64_t requested)
+{
+    if (requested == 0)
+        return ThreadPool::hardware_workers();
+    return static_cast<unsigned>(requested);
+}
+
+} // namespace
+
+ExecOptions
+ExecOptions::from_env()
+{
+    ExecOptions eo;
+    eo.jobs = resolve_jobs(env_u64("SGMS_JOBS", 1));
+    eo.cache_dir = env_string("SGMS_CACHE_DIR", eo.cache_dir);
+    eo.cache_enabled = env_u64("SGMS_CACHE", 0) != 0;
+    return eo;
+}
+
+ExecOptions
+ExecOptions::from_options(const Options &opts)
+{
+    ExecOptions eo = from_env();
+    if (opts.has("jobs"))
+        eo.jobs = resolve_jobs(opts.get_u64("jobs", 1));
+    if (opts.has("cache-dir")) {
+        eo.cache_dir = opts.get("cache-dir", eo.cache_dir);
+        eo.cache_enabled = true;
+    }
+    if (opts.get_bool("no-cache"))
+        eo.cache_enabled = false;
+    return eo;
+}
+
+const char *
+ExecOptions::help()
+{
+    return "execution: --jobs=N (0=all cores; SGMS_JOBS) "
+           "--cache-dir=DIR (SGMS_CACHE_DIR; implies cache on)\n"
+           "  --no-cache (SGMS_CACHE=1 enables; default off)";
+}
+
+} // namespace sgms::exec

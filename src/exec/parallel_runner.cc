@@ -1,0 +1,197 @@
+#include "exec/parallel_runner.h"
+
+#include <future>
+
+#include "common/logging.h"
+
+namespace sgms::exec
+{
+
+namespace
+{
+
+bool
+has_subpage_dimension(const std::string &policy)
+{
+    return policy != "fullpage" && policy != "disk";
+}
+
+bool
+has_observers(const Experiment &ex)
+{
+    return ex.base.tracer != nullptr || ex.base.timeline != nullptr;
+}
+
+} // namespace
+
+std::vector<Experiment>
+expand_sweep(const SweepSpec &spec)
+{
+    std::vector<Experiment> points;
+    points.reserve(spec.point_count());
+    for (const auto &app : spec.apps) {
+        for (MemConfig mem : spec.mems) {
+            for (const auto &policy : spec.policies) {
+                std::vector<uint32_t> sizes =
+                    has_subpage_dimension(policy)
+                        ? spec.subpage_sizes
+                        : std::vector<uint32_t>{spec.base.page_size};
+                for (uint32_t sp : sizes) {
+                    Experiment ex;
+                    ex.app = app;
+                    ex.scale = spec.scale;
+                    ex.seed = spec.seed;
+                    ex.policy = policy;
+                    ex.subpage_size = sp;
+                    ex.mem = mem;
+                    ex.base = spec.base;
+                    points.push_back(std::move(ex));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+Engine::Engine(ExecOptions opts) : opts_(opts)
+{
+    if (opts_.jobs == 0)
+        opts_.jobs = 1;
+    if (opts_.cache_enabled)
+        cache_ = std::make_unique<ResultCache>(opts_.cache_dir);
+}
+
+Engine::~Engine() = default;
+
+ThreadPool &
+Engine::pool()
+{
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_) {
+        // Bound the waiting-task backlog to a few rounds per worker:
+        // grids can be huge and closures capture whole Experiments.
+        pool_ = std::make_unique<ThreadPool>(
+            opts_.jobs, static_cast<size_t>(opts_.jobs) * 4);
+    }
+    return *pool_;
+}
+
+SimResult
+Engine::run_point(const Experiment &ex)
+{
+    if (cache_ && !has_observers(ex)) {
+        CacheKey key = cache_key_of(ex);
+        if (auto hit = cache_->load(key)) {
+            points_cached_.fetch_add(1, std::memory_order_relaxed);
+            return std::move(*hit);
+        }
+        SimResult r = ex.run();
+        cache_->store(key, r);
+        points_run_.fetch_add(1, std::memory_order_relaxed);
+        return r;
+    }
+    SimResult r = ex.run();
+    points_run_.fetch_add(1, std::memory_order_relaxed);
+    return r;
+}
+
+SimResult
+Engine::run(const Experiment &ex)
+{
+    return run_point(ex);
+}
+
+std::vector<SimResult>
+Engine::run_all(const std::vector<Experiment> &points,
+                const Progress &progress)
+{
+    std::vector<SimResult> out(points.size());
+
+    if (opts_.jobs <= 1 || points.size() <= 1) {
+        // Serial fast path: historical semantics, caller's thread.
+        for (size_t i = 0; i < points.size(); ++i) {
+            if (progress)
+                progress(points[i]);
+            out[i] = run_point(points[i]);
+        }
+        return out;
+    }
+
+    // Parallel: each task computes into its serial slot, so waiting
+    // on the futures in any order yields the deterministic merge.
+    std::atomic<uint64_t> progress_calls{0};
+    std::vector<std::future<void>> done;
+    done.reserve(points.size());
+    ThreadPool &tp = pool();
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Experiment &ex = points[i];
+        SimResult *slot = &out[i];
+        done.push_back(tp.submit([this, &ex, slot, &progress,
+                                  &progress_calls] {
+            if (progress) {
+                progress(ex); // worker thread; see header contract
+                progress_calls.fetch_add(1,
+                                         std::memory_order_relaxed);
+            }
+            *slot = run_point(ex);
+        }));
+    }
+    for (auto &f : done)
+        f.get();
+    // One callback per point, no more, no fewer — catches progress
+    // wrappers that swallow or double-fire under concurrency.
+    SGMS_ASSERT(!progress ||
+                progress_calls.load() == points.size());
+    return out;
+}
+
+std::vector<SimResult>
+Engine::run_sweep(const SweepSpec &spec, const Progress &progress)
+{
+    return run_all(expand_sweep(spec), progress);
+}
+
+ExecStats
+Engine::stats() const
+{
+    ExecStats s;
+    s.points_run = points_run_.load(std::memory_order_relaxed);
+    s.points_cached = points_cached_.load(std::memory_order_relaxed);
+    s.points_total = s.points_run + s.points_cached;
+    {
+        std::lock_guard<std::mutex> lock(pool_mutex_);
+        if (pool_) {
+            s.pool = pool_->stats();
+            s.workers = pool_->worker_count();
+        }
+    }
+    if (cache_)
+        s.cache = cache_->stats();
+    return s;
+}
+
+std::vector<obs::MetricSample>
+Engine::metrics_snapshot() const
+{
+    ExecStats s = stats();
+    obs::MetricsRegistry reg;
+    reg.counter("exec.points_run").inc(s.points_run);
+    reg.counter("exec.points_cached").inc(s.points_cached);
+    reg.counter("exec.cache_stores").inc(s.cache.stores);
+    reg.counter("exec.cache_decode_failures")
+        .inc(s.cache.decode_failures);
+    reg.counter("exec.tasks_stolen").inc(s.pool.stolen);
+    reg.gauge("exec.pool_workers").set(s.workers);
+    reg.gauge("exec.queue_peak")
+        .set(static_cast<double>(s.pool.peak_queued));
+    return reg.snapshot();
+}
+
+Engine &
+Engine::shared()
+{
+    static Engine engine(ExecOptions::from_env());
+    return engine;
+}
+
+} // namespace sgms::exec

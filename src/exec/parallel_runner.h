@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Parallel experiment engine: shard a grid of independent simulation
+ * points across a work-stealing pool, merge results back into exact
+ * serial order, and serve repeated points from the result cache.
+ *
+ * Every point is a pure function of its Experiment, so the engine
+ * can schedule them in any order and still return a result vector
+ * byte-identical to the historical serial `run_sweep` — results are
+ * written into their precomputed slot (the serial index), which *is*
+ * the deterministic merge; there is no reduction step to get wrong.
+ *
+ * Progress-callback contract: with jobs == 1 the callback fires on
+ * the calling thread, in serial order, before each point — exactly
+ * the historical behavior. With jobs > 1 it fires on WORKER threads,
+ * concurrently and in completion order; callbacks must be
+ * thread-safe (take a lock around printing, use atomics for
+ * counting). The engine asserts that exactly one callback fired per
+ * point. Cached points still get a callback: progress reports
+ * points *delivered*, not simulations executed.
+ *
+ * Cache interaction: a point whose config carries run observers
+ * (cfg.tracer / cfg.timeline) is never served from — or stored to —
+ * the cache, since a cached result cannot replay their side effects.
+ */
+
+#ifndef SGMS_EXEC_PARALLEL_RUNNER_H
+#define SGMS_EXEC_PARALLEL_RUNNER_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/sweep.h"
+#include "exec/exec_options.h"
+#include "exec/result_cache.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace sgms::exec
+{
+
+/**
+ * Expand @p spec into its experiment points in the canonical serial
+ * order (app-major, then mem, then policy, then subpage size) that
+ * run_sweep has always used. Policies without a subpage dimension
+ * ("fullpage", "disk") expand once per (app, mem).
+ */
+std::vector<Experiment> expand_sweep(const SweepSpec &spec);
+
+/** Aggregate engine counters (monotone over the engine lifetime). */
+struct ExecStats
+{
+    uint64_t points_total = 0;  ///< points delivered (run + cached)
+    uint64_t points_run = 0;    ///< simulated for real
+    uint64_t points_cached = 0; ///< served from the result cache
+    unsigned workers = 0;       ///< pool size (0: never went parallel)
+    PoolStats pool;             ///< zero until a parallel run happens
+    CacheStats cache;           ///< zero when the cache is disabled
+};
+
+class Engine
+{
+  public:
+    using Progress = std::function<void(const Experiment &)>;
+
+    explicit Engine(ExecOptions opts = ExecOptions{});
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Run (or fetch) a single point. */
+    SimResult run(const Experiment &ex);
+
+    /**
+     * Run every point, returning results in input order. See the
+     * file header for the progress contract.
+     */
+    std::vector<SimResult>
+    run_all(const std::vector<Experiment> &points,
+            const Progress &progress = nullptr);
+
+    /** expand_sweep + run_all. */
+    std::vector<SimResult>
+    run_sweep(const SweepSpec &spec,
+              const Progress &progress = nullptr);
+
+    const ExecOptions &options() const { return opts_; }
+
+    ExecStats stats() const;
+
+    /**
+     * exec.* counters as a metrics snapshot (obs/metrics.h):
+     * exec.points_run, exec.points_cached, exec.cache_stores,
+     * exec.cache_decode_failures, exec.tasks_stolen,
+     * exec.pool_workers, exec.queue_peak.
+     */
+    std::vector<obs::MetricSample> metrics_snapshot() const;
+
+    /**
+     * Process-wide engine configured from the environment (SGMS_JOBS,
+     * SGMS_CACHE, SGMS_CACHE_DIR) at first use; what the benches'
+     * run_labeled routes through.
+     */
+    static Engine &shared();
+
+  private:
+    SimResult run_point(const Experiment &ex);
+    ThreadPool &pool();
+
+    ExecOptions opts_;
+    std::unique_ptr<ResultCache> cache_;
+    mutable std::mutex pool_mutex_; ///< guards lazy pool_ creation
+    std::unique_ptr<ThreadPool> pool_;
+    std::atomic<uint64_t> points_run_{0};
+    std::atomic<uint64_t> points_cached_{0};
+};
+
+} // namespace sgms::exec
+
+#endif // SGMS_EXEC_PARALLEL_RUNNER_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Lossless SimResult <-> JSON blob codec for the result cache.
+ *
+ * Unlike core/json_report.h — a reporting format with rounded
+ * millisecond fields — this codec is a faithful serialization: every
+ * field of SimResult round-trips exactly (ticks as integer
+ * picoseconds, doubles printed with 17 significant digits), so a
+ * cache hit is indistinguishable from re-running the simulation,
+ * down to the last byte of any downstream report.
+ *
+ * Blobs carry kResultBlobSchema; a reader rejects any other version
+ * (and any structural damage) by returning false, which the cache
+ * treats as a miss.
+ */
+
+#ifndef SGMS_EXEC_RESULT_CODEC_H
+#define SGMS_EXEC_RESULT_CODEC_H
+
+#include <ostream>
+#include <string>
+
+#include "core/sim_result.h"
+
+namespace sgms::exec
+{
+
+/**
+ * Version of both the blob layout and the simulator's observable
+ * result semantics. Bump whenever SimResult gains/changes fields OR
+ * a simulator change alters results for an unchanged SimConfig —
+ * the version participates in the cache key, so a bump invalidates
+ * every cached point at once.
+ */
+inline constexpr uint32_t kResultBlobSchema = 1;
+
+/** Serialize every field of @p r as one JSON object. */
+void write_result_blob(std::ostream &os, const SimResult &r);
+
+/** Convenience: write_result_blob into a string. */
+std::string result_blob(const SimResult &r);
+
+/**
+ * Parse a blob produced by write_result_blob. Returns false (leaving
+ * @p out default-constructed) on a parse error, a schema mismatch,
+ * or missing required fields; never fatals, because the input may be
+ * a truncated or corrupted cache file.
+ */
+bool read_result_blob(const std::string &text, SimResult &out);
+
+} // namespace sgms::exec
+
+#endif // SGMS_EXEC_RESULT_CODEC_H

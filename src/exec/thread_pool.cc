@@ -1,0 +1,142 @@
+#include "exec/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace sgms::exec
+{
+
+ThreadPool::ThreadPool(unsigned workers, size_t queue_capacity)
+    : queue_capacity_(queue_capacity)
+{
+    if (workers == 0)
+        fatal("ThreadPool needs at least one worker");
+    deques_.resize(workers);
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> fn)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stopping_)
+            panic("ThreadPool::submit after shutdown");
+        if (queue_capacity_) {
+            space_cv_.wait(lock, [this] {
+                return queued_ < queue_capacity_ || stopping_;
+            });
+            if (stopping_)
+                panic("ThreadPool::submit after shutdown");
+        }
+        deques_[next_deque_].tasks.push_back(std::move(fn));
+        next_deque_ = (next_deque_ + 1) % deques_.size();
+        ++queued_;
+        ++stats_.submitted;
+        if (queued_ > stats_.peak_queued)
+            stats_.peak_queued = queued_;
+    }
+    work_cv_.notify_one();
+}
+
+bool
+ThreadPool::take_task(unsigned index, std::function<void()> &out)
+{
+    // Caller holds mutex_. Own deque first (front = most recently
+    // queued locality), then steal from siblings' backs.
+    if (!deques_[index].tasks.empty()) {
+        out = std::move(deques_[index].tasks.front());
+        deques_[index].tasks.pop_front();
+        return true;
+    }
+    for (size_t k = 1; k < deques_.size(); ++k) {
+        unsigned victim =
+            static_cast<unsigned>((index + k) % deques_.size());
+        if (!deques_[victim].tasks.empty()) {
+            out = std::move(deques_[victim].tasks.back());
+            deques_[victim].tasks.pop_back();
+            ++stats_.stolen;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::worker_main(unsigned index)
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [this, index, &task] {
+                return take_task(index, task) || stopping_;
+            });
+            if (!task) {
+                // stopping_ and nothing left anywhere: exit.
+                return;
+            }
+            --queued_;
+            ++running_;
+        }
+        space_cv_.notify_one();
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+            ++stats_.executed;
+            if (queued_ == 0 && running_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this] { return queued_ == 0 && running_ == 0; });
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_ && threads_.empty())
+            return;
+        stopping_ = true;
+    }
+    // Wake everyone: workers drain the remaining deques (take_task
+    // still hands out work while any is queued), then see stopping_.
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+    for (auto &t : threads_) {
+        if (t.joinable())
+            t.join();
+    }
+    threads_.clear();
+}
+
+PoolStats
+ThreadPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+unsigned
+ThreadPool::hardware_workers()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace sgms::exec

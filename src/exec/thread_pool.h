@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Work-stealing thread pool for the parallel execution engine.
+ *
+ * Each worker owns a deque of tasks: it pops work from the front of
+ * its own deque and, when that runs dry, steals from the back of a
+ * sibling's (classic Blumofe/Leiserson discipline, which keeps hot
+ * tasks cache-local and steals the coldest ones). submit() deals new
+ * tasks round-robin across the worker deques and returns a
+ * std::future for the task's result; a bounded aggregate queue depth
+ * applies backpressure by blocking submitters instead of buffering
+ * unbounded closures.
+ *
+ * Shutdown is graceful: the destructor (or shutdown()) lets every
+ * already-submitted task finish before the workers exit. The pool is
+ * deliberately generic — it schedules std::function thunks, not
+ * Experiments — so later subsystems (trace prefetchers, background
+ * flushers) can share it.
+ */
+
+#ifndef SGMS_EXEC_THREAD_POOL_H
+#define SGMS_EXEC_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sgms::exec
+{
+
+/** Counters the pool maintains; snapshot via ThreadPool::stats(). */
+struct PoolStats
+{
+    uint64_t submitted = 0; ///< tasks accepted by submit()
+    uint64_t executed = 0;  ///< tasks that ran to completion
+    uint64_t stolen = 0;    ///< tasks taken from a sibling's deque
+    uint64_t peak_queued = 0; ///< high-water mark of waiting tasks
+};
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param workers        worker thread count (>= 1)
+     * @param queue_capacity max waiting (unstarted) tasks before
+     *                       submit() blocks; 0 = unbounded
+     */
+    explicit ThreadPool(unsigned workers, size_t queue_capacity = 0);
+
+    /** Graceful: drains all submitted work, then joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Schedule @p fn and return a future for its result. Blocks while
+     * the pool is at queue capacity. Submitting after shutdown() is a
+     * programming error (panics).
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+    /** Block until every submitted task has completed. */
+    void wait_idle();
+
+    /** Finish all queued work and join the workers (idempotent). */
+    void shutdown();
+
+    unsigned worker_count() const
+    {
+        return static_cast<unsigned>(deques_.size());
+    }
+
+    /** Snapshot of the pool counters (safe to call any time). */
+    PoolStats stats() const;
+
+    /** A sensible default worker count for this machine. */
+    static unsigned hardware_workers();
+
+  private:
+    struct Deque
+    {
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void enqueue(std::function<void()> fn);
+    void worker_main(unsigned index);
+    bool take_task(unsigned index, std::function<void()> &out);
+
+    // One mutex guards every deque plus the counters: tasks here are
+    // whole simulations (milliseconds each), so scheduler contention
+    // is noise and a single lock keeps steal/shutdown races simple.
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< workers wait for tasks
+    std::condition_variable idle_cv_;  ///< waiters wait for drain
+    std::condition_variable space_cv_; ///< submitters wait for room
+    std::vector<Deque> deques_;
+    std::vector<std::thread> threads_;
+    size_t queue_capacity_;
+    size_t queued_ = 0;  ///< tasks waiting in some deque
+    size_t running_ = 0; ///< tasks currently executing
+    unsigned next_deque_ = 0;
+    bool stopping_ = false;
+    PoolStats stats_;
+};
+
+} // namespace sgms::exec
+
+#endif // SGMS_EXEC_THREAD_POOL_H

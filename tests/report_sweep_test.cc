@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -183,11 +184,13 @@ TEST(Sweep, RunsEveryPointAndLabelsResults)
     spec.subpage_sizes = {1024, 2048};
     spec.mems = {MemConfig::Half};
     spec.scale = 0.5;
-    int progress_calls = 0;
+    // Per the run_sweep contract the callback may fire from worker
+    // threads when SGMS_JOBS > 1, so the counter must be atomic.
+    std::atomic<int> progress_calls{0};
     auto results = run_sweep(
         spec, [&](const Experiment &) { ++progress_calls; });
     ASSERT_EQ(results.size(), 3u);
-    EXPECT_EQ(progress_calls, 3);
+    EXPECT_EQ(progress_calls.load(), 3);
     EXPECT_EQ(results[0].app, "gdb");
     EXPECT_EQ(results[0].policy, "fullpage");
     EXPECT_EQ(results[0].subpage_size, 8192u);
