@@ -19,24 +19,32 @@ main()
                   "busy-cluster sensitivity (modula3, 1/2-mem)",
                   scale);
 
-    Table t({"server load", "p_8192 (ms)", "sp_1024 (ms)",
-             "improvement", "mean sp wait (ms)"});
-    for (double load : {0.0, 0.2, 0.4, 0.6}) {
+    const std::vector<double> loads = {0.0, 0.2, 0.4, 0.6};
+    std::vector<Experiment> points;
+    for (double load : loads) {
         Experiment ex;
         ex.app = "modula3";
         ex.scale = scale;
         ex.mem = MemConfig::Half;
         ex.base.cluster_load.server_utilization = load;
         ex.policy = "fullpage";
-        SimResult base = bench::run_labeled(ex);
+        points.push_back(ex);
         ex.policy = "eager";
         ex.subpage_size = 1024;
-        SimResult eager = bench::run_labeled(ex);
+        points.push_back(ex);
+    }
+    std::vector<SimResult> results = bench::run_batch(points);
+
+    Table t({"server load", "p_8192 (ms)", "sp_1024 (ms)",
+             "improvement", "mean sp wait (ms)"});
+    for (size_t i = 0; i < loads.size(); ++i) {
+        const SimResult &base = results[2 * i];
+        const SimResult &eager = results[2 * i + 1];
         double mean_sp =
             eager.page_faults
                 ? ticks::to_ms(eager.sp_latency) / eager.page_faults
                 : 0;
-        t.add_row({Table::fmt_pct(load), format_ms(base.runtime),
+        t.add_row({Table::fmt_pct(loads[i]), format_ms(base.runtime),
                    format_ms(eager.runtime),
                    Table::fmt_pct(eager.reduction_vs(base)),
                    Table::fmt(mean_sp, 3)});
@@ -47,21 +55,30 @@ main()
                 "priority shields the small demand\ntransfers).\n");
 
     bench::section("adaptive pipelining (future-work extension)");
-    Table t2({"policy", "runtime (ms)", "vs p_8192"});
+    const std::vector<const char *> policies = {
+        "eager", "pipelining", "pipelining-all",
+        "pipelining-adaptive"};
     Experiment ex;
     ex.app = "modula3";
     ex.scale = scale;
     ex.mem = MemConfig::Half;
     ex.subpage_size = 1024;
+    std::vector<Experiment> adaptive_points;
     ex.policy = "fullpage";
-    SimResult base = bench::run_labeled(ex);
-    for (const char *pol :
-         {"eager", "pipelining", "pipelining-all",
-          "pipelining-adaptive"}) {
+    adaptive_points.push_back(ex);
+    for (const char *pol : policies) {
         ex.policy = pol;
-        SimResult r = bench::run_labeled(ex);
-        t2.add_row({pol, format_ms(r.runtime),
-                    Table::fmt_pct(r.reduction_vs(base))});
+        adaptive_points.push_back(ex);
+    }
+    std::vector<SimResult> adaptive_results =
+        bench::run_batch(adaptive_points);
+
+    Table t2({"policy", "runtime (ms)", "vs p_8192"});
+    const SimResult &abase = adaptive_results[0];
+    for (size_t k = 0; k < policies.size(); ++k) {
+        const SimResult &r = adaptive_results[1 + k];
+        t2.add_row({policies[k], format_ms(r.runtime),
+                    Table::fmt_pct(r.reduction_vs(abase))});
     }
     t2.print(std::cout);
     std::printf("expected: adaptive ordering matches or beats the "

@@ -17,20 +17,33 @@ main()
     double scale = scale_from_env(1.0);
     bench::banner("Ablation", "warm vs cold global cache", scale);
 
-    Table t({"cache", "config", "policy", "runtime (ms)",
-             "disk faults", "remote faults", "eager vs p_8192"});
-    for (bool warm : {true, false}) {
-        for (MemConfig mem : {MemConfig::Half, MemConfig::Quarter}) {
+    const std::vector<bool> warms = {true, false};
+    const std::vector<MemConfig> mems = {MemConfig::Half,
+                                         MemConfig::Quarter};
+    std::vector<Experiment> points;
+    for (bool warm : warms) {
+        for (MemConfig mem : mems) {
             Experiment ex;
             ex.app = "modula3";
             ex.scale = scale;
             ex.mem = mem;
             ex.base.gms.warm = warm;
             ex.policy = "fullpage";
-            SimResult base = bench::run_labeled(ex);
+            points.push_back(ex);
             ex.policy = "eager";
             ex.subpage_size = 1024;
-            SimResult eager = bench::run_labeled(ex);
+            points.push_back(ex);
+        }
+    }
+    std::vector<SimResult> results = bench::run_batch(points);
+
+    Table t({"cache", "config", "policy", "runtime (ms)",
+             "disk faults", "remote faults", "eager vs p_8192"});
+    size_t i = 0;
+    for (bool warm : warms) {
+        for (MemConfig mem : mems) {
+            const SimResult &base = results[i++];
+            const SimResult &eager = results[i++];
 
             uint64_t disk_faults = 0;
             for (const auto &f : eager.faults)

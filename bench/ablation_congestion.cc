@@ -23,38 +23,37 @@ main()
                   scale);
 
     bench::section("wire scheduling (modula3, 1/2-mem, 1K eager)");
-    Table t({"scheduling", "p_8192 (ms)", "sp_1024 (ms)",
-             "improvement", "mean sp wait (ms)"});
+    const std::vector<const char *> mode_names = {
+        "priority+preemption (default)", "priority only",
+        "strict FIFO"};
+    std::vector<Experiment> points;
     for (int mode = 0; mode < 3; ++mode) {
         Experiment ex;
         ex.app = "modula3";
         ex.scale = scale;
         ex.mem = MemConfig::Half;
-        const char *name;
-        switch (mode) {
-          case 0:
-            name = "priority+preemption (default)";
-            break;
-          case 1:
-            name = "priority only";
+        if (mode >= 1)
             ex.base.net.preemptive_demand = false;
-            break;
-          default:
-            name = "strict FIFO";
-            ex.base.net.preemptive_demand = false;
+        if (mode >= 2)
             ex.base.net.priority_scheduling = false;
-            break;
-        }
         ex.policy = "fullpage";
-        SimResult base = bench::run_labeled(ex);
+        points.push_back(ex);
         ex.policy = "eager";
         ex.subpage_size = 1024;
-        SimResult eager = bench::run_labeled(ex);
+        points.push_back(ex);
+    }
+    std::vector<SimResult> results = bench::run_batch(points);
+
+    Table t({"scheduling", "p_8192 (ms)", "sp_1024 (ms)",
+             "improvement", "mean sp wait (ms)"});
+    for (int mode = 0; mode < 3; ++mode) {
+        const SimResult &base = results[2 * mode];
+        const SimResult &eager = results[2 * mode + 1];
         double mean_sp =
             eager.page_faults
                 ? ticks::to_ms(eager.sp_latency) / eager.page_faults
                 : 0;
-        t.add_row({name, format_ms(base.runtime),
+        t.add_row({mode_names[mode], format_ms(base.runtime),
                    format_ms(eager.runtime),
                    Table::fmt_pct(eager.reduction_vs(base)),
                    Table::fmt(mean_sp, 3)});
@@ -68,8 +67,9 @@ main()
                    "strict FIFO)");
     // Run the server sweep under FIFO so server-side contention is
     // visible (demand preemption otherwise hides it).
-    Table t2({"servers", "sp_1024 (ms)", "mean sp wait (ms)"});
-    for (uint32_t servers : {1u, 2u, 4u, 8u}) {
+    const std::vector<uint32_t> server_counts = {1, 2, 4, 8};
+    std::vector<Experiment> server_points;
+    for (uint32_t servers : server_counts) {
         Experiment ex;
         ex.app = "modula3";
         ex.scale = scale;
@@ -79,13 +79,20 @@ main()
         ex.base.gms.servers = servers;
         ex.base.net.preemptive_demand = false;
         ex.base.net.priority_scheduling = false;
-        SimResult r = bench::run_labeled(ex);
+        server_points.push_back(ex);
+    }
+    std::vector<SimResult> server_results =
+        bench::run_batch(server_points);
+
+    Table t2({"servers", "sp_1024 (ms)", "mean sp wait (ms)"});
+    for (size_t i = 0; i < server_counts.size(); ++i) {
+        const SimResult &r = server_results[i];
         double mean_sp =
             r.page_faults
                 ? ticks::to_ms(r.sp_latency) / r.page_faults
                 : 0;
-        t2.add_row({Table::fmt_int(servers), format_ms(r.runtime),
-                    Table::fmt(mean_sp, 3)});
+        t2.add_row({Table::fmt_int(server_counts[i]),
+                    format_ms(r.runtime), Table::fmt(mean_sp, 3)});
     }
     t2.print(std::cout);
     return 0;

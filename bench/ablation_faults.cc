@@ -41,11 +41,13 @@ main()
                   scale);
 
     bench::section("message loss rate x policy (gdb, 1/2-mem, 1K)");
-    Table t({"loss", "policy", "runtime (ms)", "vs clean", "retries",
-             "timeouts", "degraded"});
-    std::map<std::string, Tick> clean;
-    for (double loss : {0.0, 0.001, 0.01, 0.05, 0.10}) {
-        for (const char *policy : {"fullpage", "eager", "pipelining"}) {
+    const std::vector<double> losses = {0.0, 0.001, 0.01, 0.05,
+                                        0.10};
+    const std::vector<const char *> policies = {"fullpage", "eager",
+                                                "pipelining"};
+    std::vector<Experiment> points;
+    for (double loss : losses) {
+        for (const char *policy : policies) {
             Experiment ex;
             ex.app = "gdb";
             ex.scale = scale;
@@ -57,7 +59,18 @@ main()
                 ex.base.faults.seed = 7;
                 ex.base.faults.set_loss(loss);
             }
-            SimResult r = bench::run_labeled(ex);
+            points.push_back(ex);
+        }
+    }
+    std::vector<SimResult> results = bench::run_batch(points);
+
+    Table t({"loss", "policy", "runtime (ms)", "vs clean", "retries",
+             "timeouts", "degraded"});
+    std::map<std::string, Tick> clean;
+    size_t i = 0;
+    for (double loss : losses) {
+        for (const char *policy : policies) {
+            const SimResult &r = results[i++];
             if (loss == 0)
                 clean[policy] = r.runtime;
             double vs = clean.count(policy)
@@ -92,6 +105,7 @@ main()
         {"1 server, never recovers", "seed=7,down=1:100"},
         {"rolling: two servers", "seed=7,down=1:100:250,down=2:300:450"},
     };
+    std::vector<Experiment> outage_points;
     for (const Case &c : cases) {
         Experiment ex;
         ex.app = "gdb";
@@ -103,7 +117,13 @@ main()
         ex.base.gms.servers = 2;
         if (*c.spec)
             ex.base.faults = fault::FaultPlan::parse(c.spec);
-        SimResult r = bench::run_labeled(ex);
+        outage_points.push_back(ex);
+    }
+    std::vector<SimResult> outage_results =
+        bench::run_batch(outage_points);
+    for (size_t k = 0; k < std::size(cases); ++k) {
+        const Case &c = cases[k];
+        const SimResult &r = outage_results[k];
         t2.add_row({c.name, format_ms(r.runtime),
                     Table::fmt_int(r.degraded_fetches),
                     Table::fmt_int(r.server_failures),

@@ -36,29 +36,43 @@ main()
         {"16x bandwidth, 4x fixed", NetParams::future(16, 4)},
     };
 
+    const std::vector<uint32_t> sp_sizes = {4096, 2048, 1024, 512,
+                                            256};
+    std::vector<Experiment> points;
     for (const auto &net : nets) {
-        bench::section(net.name);
         Experiment ex;
         ex.app = "modula3";
         ex.scale = scale;
         ex.mem = MemConfig::Half;
         ex.base.net = net.params;
         ex.policy = "fullpage";
-        SimResult base = bench::run_labeled(ex);
+        points.push_back(ex);
+        ex.policy = "eager";
+        for (uint32_t sp : sp_sizes) {
+            ex.subpage_size = sp;
+            points.push_back(ex);
+        }
+    }
+    std::vector<SimResult> results = bench::run_batch(points);
+
+    const size_t per_net = 1 + sp_sizes.size();
+    for (size_t n = 0; n < std::size(nets); ++n) {
+        bench::section(nets[n].name);
+        const SimResult &base = results[n * per_net];
 
         Table t({"config", "runtime (ms)", "vs p_8192"});
-        t.add_row({ex.label(), format_ms(base.runtime), "0%"});
+        t.add_row({points[n * per_net].label(),
+                   format_ms(base.runtime), "0%"});
         uint32_t best_size = 8192;
         Tick best_runtime = base.runtime;
-        ex.policy = "eager";
-        for (uint32_t sp : {4096u, 2048u, 1024u, 512u, 256u}) {
-            ex.subpage_size = sp;
-            SimResult r = bench::run_labeled(ex);
-            t.add_row({ex.label(), format_ms(r.runtime),
+        for (size_t k = 0; k < sp_sizes.size(); ++k) {
+            const SimResult &r = results[n * per_net + 1 + k];
+            t.add_row({points[n * per_net + 1 + k].label(),
+                       format_ms(r.runtime),
                        Table::fmt_pct(r.reduction_vs(base))});
             if (r.runtime < best_runtime) {
                 best_runtime = r.runtime;
-                best_size = sp;
+                best_size = sp_sizes[k];
             }
         }
         t.print(std::cout);

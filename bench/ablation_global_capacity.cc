@@ -24,9 +24,9 @@ main()
     std::printf("application footprint: %llu pages\n\n",
                 static_cast<unsigned long long>(fp));
 
-    Table t({"global capacity", "runtime (ms)", "disk faults",
-             "remote faults", "discards", "eager vs p_8192"});
-    for (double frac : {0.05, 0.25, 0.5, 1.0}) {
+    const std::vector<double> fracs = {0.05, 0.25, 0.5, 1.0};
+    std::vector<Experiment> points;
+    for (double frac : fracs) {
         uint64_t cap_per_server = std::max<uint64_t>(
             1, static_cast<uint64_t>(fp * frac) / 4);
         Experiment ex;
@@ -37,10 +37,19 @@ main()
         ex.base.gms.servers = 4;
         ex.base.gms.server_capacity_pages = cap_per_server;
         ex.policy = "fullpage";
-        SimResult base = bench::run_labeled(ex);
+        points.push_back(ex);
         ex.policy = "eager";
         ex.subpage_size = 1024;
-        SimResult eager = bench::run_labeled(ex);
+        points.push_back(ex);
+    }
+    std::vector<SimResult> results = bench::run_batch(points);
+
+    Table t({"global capacity", "runtime (ms)", "disk faults",
+             "remote faults", "discards", "eager vs p_8192"});
+    for (size_t i = 0; i < fracs.size(); ++i) {
+        double frac = fracs[i];
+        const SimResult &base = results[2 * i];
+        const SimResult &eager = results[2 * i + 1];
 
         uint64_t disk_faults = 0;
         for (const auto &f : eager.faults)

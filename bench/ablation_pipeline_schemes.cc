@@ -33,10 +33,33 @@ main()
         ex.mem = MemConfig::Half;
         ex.subpage_size = sp;
 
+        const std::vector<const char *> schemes = {
+            "pipelining", "pipelining-all", "pipelining-doubled",
+            "pipelining-initial2x"};
+        std::vector<Experiment> points;
         ex.policy = "fullpage";
-        SimResult base = bench::run_labeled(ex);
+        points.push_back(ex);
         ex.policy = "eager";
-        SimResult eager = bench::run_labeled(ex);
+        points.push_back(ex);
+        for (const char *pol : schemes) {
+            ex.policy = pol;
+            points.push_back(ex);
+        }
+        // Prototype controller: per-subpage interrupt cost. With
+        // the basic +-1 scheme only two extra interrupts are paid;
+        // pipelining every subpage pays one per subpage, which is
+        // the configuration the paper's "does not outperform eager"
+        // statement refers to.
+        ex.base.net.pipelined_recv_fixed = ticks::from_us(60);
+        ex.base.net.pipelined_recv_per_byte = ticks::from_ns(31);
+        ex.policy = "pipelining";
+        points.push_back(ex);
+        ex.policy = "pipelining-all";
+        points.push_back(ex);
+
+        std::vector<SimResult> results = bench::run_batch(points);
+        const SimResult &base = results[0];
+        const SimResult &eager = results[1];
 
         Table t({"scheme", "runtime (ms)", "vs p_8192", "vs eager",
                  "page_wait (ms)"});
@@ -47,27 +70,12 @@ main()
                        format_ms(r.page_wait)});
         };
         add("eager (no pipelining)", eager);
-        for (const char *pol :
-             {"pipelining", "pipelining-all", "pipelining-doubled",
-              "pipelining-initial2x"}) {
-            ex.policy = pol;
-            add(pol, bench::run_labeled(ex));
-        }
-
-        // Prototype controller: per-subpage interrupt cost. With
-        // the basic +-1 scheme only two extra interrupts are paid;
-        // pipelining every subpage pays one per subpage, which is
-        // the configuration the paper's "does not outperform eager"
-        // statement refers to.
-        ex.base.net.pipelined_recv_fixed = ticks::from_us(60);
-        ex.base.net.pipelined_recv_per_byte = ticks::from_ns(31);
-        ex.policy = "pipelining";
-        SimResult proto = bench::run_labeled(ex);
-        add("pipelining (AN2 proto ctrl)", proto);
-        ex.policy = "pipelining-all";
-        SimResult proto_all = bench::run_labeled(ex);
-        add("pipelining-all (AN2 proto ctrl)", proto_all);
-        ex.base.net = NetParams::an2();
+        for (size_t k = 0; k < schemes.size(); ++k)
+            add(schemes[k], results[2 + k]);
+        add("pipelining (AN2 proto ctrl)",
+            results[2 + schemes.size()]);
+        add("pipelining-all (AN2 proto ctrl)",
+            results[3 + schemes.size()]);
 
         t.print(std::cout);
         std::printf("expected: all smart-controller schemes improve "

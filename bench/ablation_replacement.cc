@@ -16,20 +16,33 @@ main()
     double scale = scale_from_env(1.0);
     bench::banner("Ablation", "replacement policy sensitivity", scale);
 
-    Table t({"policy", "config", "faults", "runtime (ms)",
-             "eager 1K vs p_8192"});
-    for (const char *repl : {"lru", "fifo", "clock"}) {
-        for (MemConfig mem : {MemConfig::Half, MemConfig::Quarter}) {
+    const std::vector<const char *> repls = {"lru", "fifo", "clock"};
+    const std::vector<MemConfig> mems = {MemConfig::Half,
+                                         MemConfig::Quarter};
+    std::vector<Experiment> points;
+    for (const char *repl : repls) {
+        for (MemConfig mem : mems) {
             Experiment ex;
             ex.app = "modula3";
             ex.scale = scale;
             ex.mem = mem;
             ex.base.replacement = repl;
             ex.policy = "fullpage";
-            SimResult base = bench::run_labeled(ex);
+            points.push_back(ex);
             ex.policy = "eager";
             ex.subpage_size = 1024;
-            SimResult eager = bench::run_labeled(ex);
+            points.push_back(ex);
+        }
+    }
+    std::vector<SimResult> results = bench::run_batch(points);
+
+    Table t({"policy", "config", "faults", "runtime (ms)",
+             "eager 1K vs p_8192"});
+    size_t i = 0;
+    for (const char *repl : repls) {
+        for (MemConfig mem : mems) {
+            const SimResult &base = results[i++];
+            const SimResult &eager = results[i++];
             t.add_row({repl, mem_config_name(mem),
                        Table::fmt_int(base.page_faults),
                        format_ms(base.runtime),

@@ -30,9 +30,8 @@ main()
     Table t({"config", "runtime (ms)", "vs p_8192", "page faults",
              "demand fetches", "tlb miss rate", "tlb overhead (ms)"});
 
-    auto run = [&](const std::string &label, uint32_t page,
-                   const std::string &policy,
-                   uint32_t subpage) -> SimResult {
+    auto point = [&](uint32_t page, const std::string &policy,
+                     uint32_t subpage) -> Experiment {
         Experiment ex;
         ex.app = "modula3";
         ex.scale = scale;
@@ -48,17 +47,21 @@ main()
         // much smaller hot set; what matters is the coverage ratio.
         ex.base.tlb_entries = 128;
         ex.base.tlb_assoc = 128;
-        SimResult r = bench::run_labeled(ex);
-        r.policy = label;
-        return r;
+        return ex;
     };
 
-    SimResult base = run("p_8192", 8192, "fullpage", 8192);
-    SimResult eager = run("sp_1024 (eager)", 8192, "eager", 1024);
-    SimResult lazy = run("lazy_1024", 8192, "lazy", 1024);
-    SimResult small = run("small_1024", 1024, "fullpage", 1024);
+    const std::vector<std::string> labels = {
+        "p_8192", "sp_1024 (eager)", "lazy_1024", "small_1024"};
+    std::vector<Experiment> points = {
+        point(8192, "fullpage", 8192), point(8192, "eager", 1024),
+        point(8192, "lazy", 1024), point(1024, "fullpage", 1024)};
+    std::vector<SimResult> results = bench::run_batch(points);
+    for (size_t i = 0; i < results.size(); ++i)
+        results[i].policy = labels[i];
 
-    for (const SimResult *r : {&base, &eager, &lazy, &small}) {
+    const SimResult &base = results[0];
+    for (const SimResult &res : results) {
+        const SimResult *r = &res;
         t.add_row({r->policy, format_ms(r->runtime),
                    Table::fmt_pct(r->reduction_vs(base)),
                    Table::fmt_int(r->page_faults),

@@ -90,6 +90,31 @@ run_batch(const std::vector<Experiment> &points)
 }
 
 /**
+ * Run a batch under an observability session. When the session is
+ * actually tracing, points run serially on the calling thread via
+ * ex.run(obs) — span capture and timelines cannot survive a worker
+ * thread or process — otherwise the batch goes through the engine
+ * like run_batch().
+ */
+inline std::vector<SimResult>
+run_batch(const std::vector<Experiment> &points,
+          const obs::ObsSession &obs)
+{
+    if (obs.tracing()) {
+        std::vector<SimResult> out;
+        out.reserve(points.size());
+        for (const Experiment &ex : points) {
+            if (obs.tracer())
+                obs.tracer()->clear();
+            out.push_back(ex.run(obs));
+        }
+        std::fflush(stdout);
+        return out;
+    }
+    return run_batch(points);
+}
+
+/**
  * A progress callback that prints "  app label mem" lines without
  * interleaving: safe to hand to run_sweep/run_all at any job count
  * (the lock keeps each line atomic; see the sweep.h contract).

@@ -6,11 +6,14 @@
  *   serial     jobs=1, cache off (the historical run_sweep path)
  *   parallel   jobs=N, cache off (work-stealing pool, deterministic
  *              merge; N = SGMS_JOBS or all hardware threads)
+ *   processes  workers=N, cache off (forked fleet + pipe IPC)
  *   warm-cache jobs=N, every point served from the result cache
  *
- * Verifies along the way that all three produce byte-identical
+ * Verifies along the way that all four produce byte-identical
  * result blobs and json_report output, and that the warm pass
- * simulates zero points. Emits a machine-readable summary (default
+ * simulates zero points. Then sweeps the parallelism degree for both
+ * the thread pool and the process fleet, recording a points/sec
+ * scaling curve. Emits a machine-readable summary (default
  * results/BENCH_exec.json) to track the perf trajectory in CI.
  *
  * Usage: exec_throughput [--scale=S] [--jobs=N] [--out=FILE]
@@ -121,6 +124,21 @@ main(int argc, char **argv)
     std::printf("%.2f s, %.2f points/s (%.2fx serial)\n", parallel_s,
                 points.size() / parallel_s, serial_s / parallel_s);
 
+    bench::section("processes (cache off)");
+    exec::ExecOptions proc_eo;
+    proc_eo.workers = jobs;
+    exec::Engine proc_engine(proc_eo);
+    t0 = std::chrono::steady_clock::now();
+    auto procs = proc_engine.run_all(points);
+    double procs_s = seconds_since(t0);
+    exec::ExecStats proc_stats = proc_engine.stats();
+    std::printf("%.2f s, %.2f points/s (%.2fx serial), "
+                "%llu degraded\n",
+                procs_s, points.size() / procs_s,
+                serial_s / procs_s,
+                static_cast<unsigned long long>(
+                    proc_stats.points_degraded));
+
     bench::section("warm cache");
     exec::ExecOptions cache_eo;
     cache_eo.jobs = jobs;
@@ -143,17 +161,53 @@ main(int argc, char **argv)
                 points.size());
 
     bool identical = blobs_of(serial) == blobs_of(parallel) &&
+                     blobs_of(serial) == blobs_of(procs) &&
                      report_of(serial) == report_of(parallel) &&
-                     report_of(serial) == report_of(warm);
+                     report_of(serial) == report_of(procs) &&
+                     report_of(serial) == report_of(warm) &&
+                     proc_stats.points_degraded == 0;
     bool all_cached = warm_stats.points_cached == points.size() &&
                       warm_stats.points_run == 0;
-    std::printf("byte-identical results: %s\n",
+    std::printf("byte-identical results (threads+processes): %s\n",
                 identical ? "yes" : "NO");
     std::printf("warm pass simulated zero points: %s\n",
                 all_cached ? "yes" : "NO");
 
+    // Scaling curve: points/sec against the degree of parallelism,
+    // for both execution modes. Stops at the fleet size used above.
+    bench::section("scaling (points/s vs parallelism)");
+    struct ScalePoint
+    {
+        const char *mode;
+        unsigned n;
+        double secs;
+    };
+    std::vector<ScalePoint> curve;
+    Table st({"mode", "n", "seconds", "points/s", "speedup"});
+    for (unsigned n = 1; n <= jobs; n *= 2) {
+        for (const char *mode : {"threads", "processes"}) {
+            exec::ExecOptions eo;
+            if (std::string(mode) == "threads")
+                eo.jobs = n;
+            else
+                eo.workers = n;
+            exec::Engine engine(eo);
+            t0 = std::chrono::steady_clock::now();
+            auto r = engine.run_all(points);
+            double secs = seconds_since(t0);
+            identical = identical && blobs_of(r) == blobs_of(serial);
+            curve.push_back({mode, n, secs});
+            st.add_row({mode, Table::fmt_int(n),
+                        Table::fmt(secs, 2),
+                        Table::fmt(points.size() / secs, 2),
+                        Table::fmt(serial_s / secs, 2) + "x"});
+        }
+    }
+    st.print(std::cout);
+
     bench::section("engine metrics");
     obs::print_metrics(std::cout, par_engine.metrics_snapshot());
+    obs::print_metrics(std::cout, proc_engine.metrics_snapshot());
 
     if (scratch_cache) {
         std::error_code ec;
@@ -168,17 +222,31 @@ main(int argc, char **argv)
             "{\"bench\":\"exec_throughput\",\"points\":%zu,"
             "\"scale\":%g,\"jobs\":%u,"
             "\"serial_s\":%.4f,\"parallel_s\":%.4f,"
-            "\"warm_cache_s\":%.4f,"
+            "\"processes_s\":%.4f,\"warm_cache_s\":%.4f,"
             "\"serial_pps\":%.3f,\"parallel_pps\":%.3f,"
-            "\"warm_cache_pps\":%.3f,"
-            "\"parallel_speedup\":%.3f,\"warm_cache_speedup\":%.3f,"
-            "\"identical\":%s,\"warm_all_cached\":%s}\n",
-            points.size(), scale, jobs, serial_s, parallel_s, warm_s,
-            points.size() / serial_s, points.size() / parallel_s,
+            "\"processes_pps\":%.3f,\"warm_cache_pps\":%.3f,"
+            "\"parallel_speedup\":%.3f,\"processes_speedup\":%.3f,"
+            "\"warm_cache_speedup\":%.3f,"
+            "\"identical\":%s,\"warm_all_cached\":%s,"
+            "\"scaling\":[",
+            points.size(), scale, jobs, serial_s, parallel_s,
+            procs_s, warm_s, points.size() / serial_s,
+            points.size() / parallel_s, points.size() / procs_s,
             points.size() / warm_s, serial_s / parallel_s,
-            serial_s / warm_s, identical ? "true" : "false",
+            serial_s / procs_s, serial_s / warm_s,
+            identical ? "true" : "false",
             all_cached ? "true" : "false");
         out << buf;
+        for (size_t i = 0; i < curve.size(); ++i) {
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"mode\":\"%s\",\"n\":%u,"
+                          "\"seconds\":%.4f,\"pps\":%.3f}",
+                          i ? "," : "", curve[i].mode, curve[i].n,
+                          curve[i].secs,
+                          points.size() / curve[i].secs);
+            out << buf;
+        }
+        out << "]}\n";
         std::printf("wrote %s\n", out_path.c_str());
     } else {
         warn("cannot write %s", out_path.c_str());

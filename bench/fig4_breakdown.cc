@@ -28,7 +28,16 @@ main(int argc, char **argv)
     ex.scale = scale;
     ex.mem = MemConfig::Half;
     ex.policy = "fullpage";
-    SimResult base = bench::run_labeled(ex, obs);
+
+    std::vector<Experiment> points;
+    points.push_back(ex);
+    ex.policy = "eager";
+    for (uint32_t sp : bench::paper_subpage_sizes()) {
+        ex.subpage_size = sp;
+        points.push_back(ex);
+    }
+    std::vector<SimResult> results = bench::run_batch(points, obs);
+    const SimResult &base = results[0];
 
     BarChart chart("runtime components (normalized to p_8192)", "");
     Table t({"config", "exec", "sp_latency", "page_wait", "other",
@@ -51,12 +60,8 @@ main(int argc, char **argv)
                    Table::fmt_pct(exec + sp + pw + other)});
     };
 
-    add(ex.label(), base);
-    ex.policy = "eager";
-    for (uint32_t sp : bench::paper_subpage_sizes()) {
-        ex.subpage_size = sp;
-        add(ex.label(), bench::run_labeled(ex, obs));
-    }
+    for (size_t i = 0; i < points.size(); ++i)
+        add(points[i].label(), results[i]);
 
     t.print(std::cout);
     chart.print(std::cout, 50);

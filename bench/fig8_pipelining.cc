@@ -31,18 +31,27 @@ main()
     ex.scale = scale;
     ex.mem = MemConfig::Half;
     ex.policy = "fullpage";
-    SimResult base = bench::run_labeled(ex);
+
+    std::vector<Experiment> points;
+    points.push_back(ex);
+    for (uint32_t sp : bench::paper_subpage_sizes()) {
+        ex.subpage_size = sp;
+        ex.policy = "eager";
+        points.push_back(ex);
+        ex.policy = "pipelining";
+        points.push_back(ex);
+    }
+    std::vector<SimResult> results = bench::run_batch(points);
+    const SimResult &base = results[0];
 
     BarChart chart("runtime components (normalized to p_8192)", "");
     Table t({"config", "exec", "sp_latency", "page_wait",
              "total vs p_8192", "page_wait cut vs eager"});
 
-    for (uint32_t sp : bench::paper_subpage_sizes()) {
-        ex.subpage_size = sp;
-        ex.policy = "eager";
-        SimResult eager = bench::run_labeled(ex);
-        ex.policy = "pipelining";
-        SimResult pipe = bench::run_labeled(ex);
+    for (size_t k = 0; k < bench::paper_subpage_sizes().size(); ++k) {
+        uint32_t sp = bench::paper_subpage_sizes()[k];
+        const SimResult &eager = results[1 + 2 * k];
+        const SimResult &pipe = results[2 + 2 * k];
 
         double denom = static_cast<double>(base.runtime);
         for (const auto *r : {&eager, &pipe}) {

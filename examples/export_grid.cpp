@@ -7,18 +7,23 @@
  *   export_grid [--apps=a,b,..] [--policies=p,q,..]
  *               [--subpages=1024,2048] [--mems=half,quarter]
  *               [--scale=S] [--json=FILE] [--csv=FILE]
- *               [--jobs=N] [--cache-dir=DIR] [--no-cache]
- *               [--config-overrides...]
+ *               [--jobs=N] [--workers=N] [--point-timeout=MS]
+ *               [--cache-dir=DIR] [--no-cache] [--cache-max-mb=N]
+ *               [--cache-gc] [--config-overrides...]
  *
  * Defaults reproduce the Figure 9 grid (all apps, fullpage + eager +
  * pipelining at 1K, 1/2-mem).
  *
  * --jobs=N shards the grid across N worker threads (0 = all cores;
- * SGMS_JOBS env). Output is byte-identical to --jobs=1: results are
- * merged back into serial grid order, and the progress lines are
- * mutex-guarded (they may print in completion order). --cache-dir
- * enables the content-addressed result cache, so a re-run recomputes
- * only points whose configuration changed.
+ * SGMS_JOBS env). --workers=N forks N worker *processes* instead
+ * (SGMS_WORKERS env), which additionally buys a per-point watchdog
+ * (--point-timeout=MS) and crash isolation. Either way, output is
+ * byte-identical to --jobs=1: results are merged back into serial
+ * grid order, and the progress lines are mutex-guarded (they may
+ * print in completion order). --cache-dir enables the content-
+ * addressed result cache, so a re-run recomputes only points whose
+ * configuration changed; --cache-max-mb bounds the cache directory
+ * with LRU eviction, and --cache-gc runs one eviction pass up front.
  */
 
 #include <cstdio>
@@ -63,7 +68,9 @@ main(int argc, char **argv)
         std::printf("usage: export_grid [--apps=..] [--policies=..] "
                     "[--subpages=..] [--mems=..]\n  [--scale=S] "
                     "[--json=FILE] [--csv=FILE] [--jobs=N] "
-                    "[--cache-dir=DIR] [--no-cache] [overrides]\n"
+                    "[--workers=N] [--point-timeout=MS]\n"
+                    "  [--cache-dir=DIR] [--no-cache] "
+                    "[--cache-max-mb=N] [--cache-gc] [overrides]\n"
                     "%s\n%s\n",
                     config_override_help(), exec::ExecOptions::help());
         return 0;
@@ -89,8 +96,8 @@ main(int argc, char **argv)
 
     exec::ExecOptions eo = exec::ExecOptions::from_options(opts);
     std::printf("running %zu experiment points (scale %g, jobs %u, "
-                "cache %s)\n",
-                spec.point_count(), spec.scale, eo.jobs,
+                "workers %u, cache %s)\n",
+                spec.point_count(), spec.scale, eo.jobs, eo.workers,
                 eo.cache_enabled ? eo.cache_dir.c_str() : "off");
     // Progress may fire from worker threads (sweep.h contract); the
     // mutex keeps each line atomic instead of interleaving.

@@ -2,13 +2,16 @@
 # Tier-1 verification plus a strict warnings pass.
 #
 #   scripts/check.sh          configure + build + ctest (tier 1, run
-#                             under SGMS_JOBS=2 so the parallel
-#                             engine path is what gets tested), then
-#                             a -Wall -Wextra -Werror rebuild in a
-#                             separate tree (build-strict/), an
-#                             ASan+UBSan build + ctest (build-asan/),
-#                             a TSan build + ctest (build-tsan/), and
-#                             the exec_throughput bench (emits
+#                             twice: under SGMS_JOBS=2 for the
+#                             thread-pool engine path and under
+#                             SGMS_WORKERS=2 for the forked process
+#                             fleet), a multi-process byte-identity
+#                             smoke, then a -Wall -Wextra -Werror
+#                             rebuild in a separate tree
+#                             (build-strict/), an ASan+UBSan build +
+#                             ctest (build-asan/), a TSan build +
+#                             ctest (build-tsan/), and the
+#                             exec_throughput bench (emits
 #                             results/BENCH_exec.json)
 #   scripts/check.sh --quick  tier 1 only
 #
@@ -29,9 +32,27 @@ echo "== tier 1: ctest (SGMS_JOBS=2) =="
 # the work-stealing engine; results must stay byte-identical.
 (cd build && SGMS_JOBS=2 ctest --output-on-failure -j "$(nproc)")
 
-echo "== smoke: trace export =="
+echo "== tier 1: ctest (SGMS_WORKERS=2, process fleet) =="
+# Same suite again with env-configured sweeps sharded across forked
+# worker processes instead of pool threads.
+(cd build && SGMS_WORKERS=2 ctest --output-on-failure -j "$(nproc)")
+
 tmp_trace="$(mktemp /tmp/sgms-trace.XXXXXX.json)"
-trap 'rm -f "$tmp_trace"' EXIT
+tmp_grid="$(mktemp -d /tmp/sgms-grid.XXXXXX)"
+trap 'rm -rf "$tmp_trace" "$tmp_grid"' EXIT
+
+echo "== smoke: multi-process sweep is byte-identical =="
+./build/examples/export_grid --scale=0.05 --jobs=1 \
+    --json="$tmp_grid/serial.json" --csv="$tmp_grid/serial.csv" \
+    >/dev/null
+./build/examples/export_grid --scale=0.05 --workers=2 \
+    --json="$tmp_grid/workers.json" --csv="$tmp_grid/workers.csv" \
+    >/dev/null
+cmp "$tmp_grid/serial.json" "$tmp_grid/workers.json"
+cmp "$tmp_grid/serial.csv" "$tmp_grid/workers.csv"
+echo "   workers=2 output matches jobs=1 byte for byte"
+
+echo "== smoke: trace export =="
 ./build/examples/quickstart --trace-out="$tmp_trace" >/dev/null
 python3 - "$tmp_trace" <<'EOF'
 import json, sys

@@ -1,0 +1,134 @@
+#include "exec/ipc.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace sgms::exec
+{
+
+namespace
+{
+
+constexpr uint32_t kMagic = 0x53474d46; // "SGMF"
+
+/** Fixed-size frame header, independent of host struct padding. */
+constexpr size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8;
+
+void
+put_u32(unsigned char *p, uint32_t v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+void
+put_u64(unsigned char *p, uint64_t v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+uint32_t
+get_u32(const unsigned char *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+uint64_t
+get_u64(const unsigned char *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+bool
+write_all(int fd, const void *buf, size_t len)
+{
+    const char *p = static_cast<const char *>(buf);
+    while (len > 0) {
+        ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** @return bytes read (== len), 0 on immediate EOF, -1 on error/torn. */
+ssize_t
+read_all(int fd, void *buf, size_t len)
+{
+    char *p = static_cast<char *>(buf);
+    size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::read(fd, p + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            return got == 0 ? 0 : -1; // mid-buffer EOF = torn
+        got += static_cast<size_t>(n);
+    }
+    return static_cast<ssize_t>(got);
+}
+
+} // namespace
+
+bool
+write_frame(int fd, const IpcFrame &frame)
+{
+    unsigned char header[kHeaderBytes];
+    put_u32(header, kMagic);
+    put_u32(header + 4, static_cast<uint32_t>(frame.type));
+    put_u64(header + 8, frame.index);
+    put_u64(header + 16, frame.arg);
+    put_u64(header + 24, frame.payload.size());
+    if (!write_all(fd, header, sizeof(header)))
+        return false;
+    if (!frame.payload.empty() &&
+        !write_all(fd, frame.payload.data(), frame.payload.size())) {
+        return false;
+    }
+    return true;
+}
+
+IpcRead
+read_frame(int fd, IpcFrame &out)
+{
+    unsigned char header[kHeaderBytes];
+    ssize_t n = read_all(fd, header, sizeof(header));
+    if (n == 0)
+        return IpcRead::Eof;
+    if (n < 0)
+        return IpcRead::Error;
+    if (get_u32(header) != kMagic)
+        return IpcRead::Error;
+    uint32_t type = get_u32(header + 4);
+    if (type < static_cast<uint32_t>(FrameType::Task) ||
+        type > static_cast<uint32_t>(FrameType::Error)) {
+        return IpcRead::Error;
+    }
+    uint64_t len = get_u64(header + 24);
+    if (len > kIpcMaxPayload)
+        return IpcRead::Error;
+    out.type = static_cast<FrameType>(type);
+    out.index = get_u64(header + 8);
+    out.arg = get_u64(header + 16);
+    out.payload.resize(len);
+    if (len > 0 && read_all(fd, out.payload.data(), len) !=
+                       static_cast<ssize_t>(len)) {
+        return IpcRead::Error;
+    }
+    return IpcRead::Ok;
+}
+
+} // namespace sgms::exec

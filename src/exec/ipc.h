@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Pipe framing for the multi-process execution mode.
+ *
+ * The supervisor (parent) and its forked workers speak a minimal
+ * length-prefixed binary protocol over anonymous pipes:
+ *
+ *   magic(4) | type(4) | index(8) | arg(8) | payload_len(8) | payload
+ *
+ * Task frames carry the experiment's *fingerprint* as payload — the
+ * worker already holds the expanded point vector (it was forked from
+ * the parent after expansion), so the fingerprint is a cross-check
+ * that both sides agree on what point N is, not a serialization of
+ * the experiment. Result frames carry the lossless SimResult blob
+ * (exec/result_codec.h), so a result that crossed a pipe is
+ * byte-identical to one computed in-process.
+ *
+ * Reads and writes loop over partial transfers and EINTR. A clean
+ * EOF (pipe closed between frames) is distinct from a torn frame or
+ * garbage bytes, so the supervisor can tell "worker exited" from
+ * "worker died mid-reply".
+ */
+
+#ifndef SGMS_EXEC_IPC_H
+#define SGMS_EXEC_IPC_H
+
+#include <cstdint>
+#include <string>
+
+namespace sgms::exec
+{
+
+/** Frame kinds of the supervisor<->worker protocol. */
+enum class FrameType : uint32_t
+{
+    Task = 1,   ///< parent -> worker: run point `index` (attempt `arg`)
+    Result = 2, ///< worker -> parent: blob for point `index`
+    Error = 3,  ///< worker -> parent: could not run point `index`
+};
+
+/** One protocol frame. */
+struct IpcFrame
+{
+    FrameType type = FrameType::Task;
+    uint64_t index = 0; ///< experiment point (serial grid index)
+    uint64_t arg = 0;   ///< task: attempt number; result: attempt echoed
+    std::string payload;
+};
+
+/** Outcome of read_frame. */
+enum class IpcRead
+{
+    Ok,    ///< a complete frame was read
+    Eof,   ///< clean end of stream before any frame byte
+    Error, ///< torn frame, bad magic, oversized payload, or I/O error
+};
+
+/** Largest payload read_frame accepts (defends against garbage). */
+inline constexpr uint64_t kIpcMaxPayload = 1ull << 30;
+
+/**
+ * Write one frame to @p fd. Loops over short writes; returns false
+ * on any write error (e.g. EPIPE when the peer died) — callers must
+ * ignore/mask SIGPIPE themselves.
+ */
+bool write_frame(int fd, const IpcFrame &frame);
+
+/** Read one frame from @p fd (blocking). */
+IpcRead read_frame(int fd, IpcFrame &out);
+
+} // namespace sgms::exec
+
+#endif // SGMS_EXEC_IPC_H

@@ -22,6 +22,19 @@
  * Cache interaction: a point whose config carries run observers
  * (cfg.tracer / cfg.timeline) is never served from — or stored to —
  * the cache, since a cached result cannot replay their side effects.
+ *
+ * Multi-process mode: with opts.workers >= 1 the grid is sharded
+ * across a fleet of forked worker processes instead of pool threads
+ * (exec/supervisor.h). The parent still owns the serial point order,
+ * consults the cache, and runs observer points inline; everything
+ * else crosses a pipe as (index, fingerprint) and comes back as a
+ * lossless result blob into its precomputed slot — output stays
+ * byte-identical to serial at any worker count. Process isolation
+ * additionally buys a per-point wall-clock watchdog and crash
+ * recovery; a point that times out or crashes repeatedly yields a
+ * *degraded* result: identity fields filled, everything else zero,
+ * and an `exec.degraded` counter in its metrics. Progress fires on
+ * the calling thread in this mode, exactly once per point.
  */
 
 #ifndef SGMS_EXEC_PARALLEL_RUNNER_H
@@ -59,6 +72,13 @@ struct ExecStats
     unsigned workers = 0;       ///< pool size (0: never went parallel)
     PoolStats pool;             ///< zero until a parallel run happens
     CacheStats cache;           ///< zero when the cache is disabled
+
+    // Multi-process mode (all zero when opts.workers == 0).
+    uint64_t points_degraded = 0; ///< timed out or crashed points
+    uint64_t timeouts = 0;        ///< workers killed by the watchdog
+    uint64_t worker_crashes = 0;  ///< workers that died mid-point
+    uint64_t worker_respawns = 0; ///< replacement workers forked
+    unsigned proc_workers = 0;    ///< configured process-fleet size
 };
 
 class Engine
@@ -95,20 +115,26 @@ class Engine
     /**
      * exec.* counters as a metrics snapshot (obs/metrics.h):
      * exec.points_run, exec.points_cached, exec.cache_stores,
-     * exec.cache_decode_failures, exec.tasks_stolen,
-     * exec.pool_workers, exec.queue_peak.
+     * exec.cache_decode_failures, exec.cache_evictions,
+     * exec.points_degraded, exec.timeouts, exec.worker_crashes,
+     * exec.worker_respawns, exec.tasks_stolen, exec.pool_workers,
+     * exec.proc_workers, exec.queue_peak.
      */
     std::vector<obs::MetricSample> metrics_snapshot() const;
 
     /**
      * Process-wide engine configured from the environment (SGMS_JOBS,
-     * SGMS_CACHE, SGMS_CACHE_DIR) at first use; what the benches'
-     * run_labeled routes through.
+     * SGMS_WORKERS, SGMS_POINT_TIMEOUT_MS, SGMS_CACHE, SGMS_CACHE_DIR,
+     * SGMS_CACHE_MAX_MB) at first use; what the benches' run_labeled
+     * routes through.
      */
     static Engine &shared();
 
   private:
     SimResult run_point(const Experiment &ex);
+    std::vector<SimResult>
+    run_all_processes(const std::vector<Experiment> &points,
+                      const Progress &progress);
     ThreadPool &pool();
 
     ExecOptions opts_;
@@ -117,6 +143,10 @@ class Engine
     std::unique_ptr<ThreadPool> pool_;
     std::atomic<uint64_t> points_run_{0};
     std::atomic<uint64_t> points_cached_{0};
+    std::atomic<uint64_t> points_degraded_{0};
+    std::atomic<uint64_t> timeouts_{0};
+    std::atomic<uint64_t> worker_crashes_{0};
+    std::atomic<uint64_t> worker_respawns_{0};
 };
 
 } // namespace sgms::exec

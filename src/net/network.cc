@@ -29,6 +29,8 @@ Network::Network(EventQueue &eq, NetParams params, NodeId requester,
 StageResource &
 Network::cpu(NodeId node)
 {
+    if (node >= cpus_.size())
+        cpus_.resize(node + 1);
     auto &slot = cpus_[node];
     if (!slot) {
         Component comp = node == requester_ ? Component::ReqCpu
@@ -43,6 +45,8 @@ Network::cpu(NodeId node)
 StageResource &
 Network::dma(NodeId node)
 {
+    if (node >= dmas_.size())
+        dmas_.resize(node + 1);
     auto &slot = dmas_[node];
     if (!slot) {
         Component comp = node == requester_ ? Component::ReqDma
@@ -57,6 +61,8 @@ Network::dma(NodeId node)
 StageResource &
 Network::wire_to(NodeId node)
 {
+    if (node >= wires_.size())
+        wires_.resize(node + 1);
     auto &slot = wires_[node];
     if (!slot) {
         slot = std::make_unique<StageResource>(

@@ -15,8 +15,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <vector>
 
 #include "common/types.h"
 #include "net/params.h"
@@ -119,9 +119,14 @@ class Network
     obs::Counter *c_bytes_ = nullptr;
     obs::Counter *c_by_kind_[kMsgKindCount] = {};
 
-    std::map<NodeId, std::unique_ptr<StageResource>> cpus_;
-    std::map<NodeId, std::unique_ptr<StageResource>> dmas_;
-    std::map<NodeId, std::unique_ptr<StageResource>> wires_;
+    // Per-node stage resources, indexed directly by NodeId. Node ids
+    // are small and dense (requester 0, servers 1..N), and these
+    // lookups sit on the per-message hot path — five stage hops per
+    // send — so a flat vector beats a red-black tree walk. Slots are
+    // still created lazily; the vectors grow on first touch of a node.
+    std::vector<std::unique_ptr<StageResource>> cpus_;
+    std::vector<std::unique_ptr<StageResource>> dmas_;
+    std::vector<std::unique_ptr<StageResource>> wires_;
 };
 
 } // namespace sgms
