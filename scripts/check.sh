@@ -10,9 +10,14 @@
 #                             rebuild in a separate tree
 #                             (build-strict/), an ASan+UBSan build +
 #                             ctest (build-asan/), a TSan build +
-#                             ctest (build-tsan/), and the
+#                             ctest (build-tsan/), the
 #                             exec_throughput bench (emits
-#                             results/BENCH_exec.json)
+#                             results/BENCH_exec.json), and the
+#                             sim_hotpath bench with a perf smoke
+#                             against the committed
+#                             results/BENCH_sim_hotpath.json
+#                             (>25% warm-mix regression fails;
+#                             SGMS_PERF_SMOKE=0 skips)
 #   scripts/check.sh --quick  tier 1 only
 #
 # Exits non-zero on the first failure.
@@ -96,6 +101,32 @@ if [[ $quick -eq 0 ]]; then
     mkdir -p results
     SGMS_SCALE="${SGMS_SCALE:-0.05}" \
         ./build/bench/exec_throughput --out=results/BENCH_exec.json
+
+    echo "== bench: simulator hot path + perf smoke =="
+    # Re-measure the hot path and compare the warm-mix refs/sec
+    # against the committed baseline JSON; a drop of more than 25%
+    # fails the check. SGMS_PERF_SMOKE=0 skips the comparison (for
+    # boxes not comparable to the one that recorded the baseline);
+    # the fresh measurement is always written for CI upload.
+    ./build/bench/sim_hotpath \
+        --out=results/BENCH_sim_hotpath_current.json
+    if [[ "${SGMS_PERF_SMOKE:-1}" != "0" ]]; then
+        python3 - <<'EOF'
+import json
+committed = json.load(open("results/BENCH_sim_hotpath.json"))
+current = json.load(open("results/BENCH_sim_hotpath_current.json"))
+ref = committed["mix_warm_refs_per_sec"]
+got = current["mix_warm_refs_per_sec"]
+ratio = got / ref
+print(f"   warm mix: {got:.0f} refs/s vs committed {ref:.0f} "
+      f"({ratio:.2f}x)")
+assert ratio >= 0.75, (
+    f"hot-path regression: warm mix {got:.0f} refs/s is more than "
+    f"25% below the committed {ref:.0f} (set SGMS_PERF_SMOKE=0 to "
+    f"skip on incomparable hardware)")
+print("   perf smoke passed")
+EOF
+    fi
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Allocation-counting test hook.
+ *
+ * Binaries that want to assert "this code path does not touch the
+ * heap" place SGMS_INSTALL_ALLOC_PROBE() at namespace scope in
+ * exactly one translation unit; that overrides the global allocation
+ * functions with counting forwards to malloc/free. The library itself
+ * never installs the probe, so production binaries keep the default
+ * allocator untouched.
+ *
+ * Usage in a test:
+ *
+ *   SGMS_INSTALL_ALLOC_PROBE();
+ *   ...
+ *   uint64_t before = sgms::alloc_probe_count();
+ *   hot_path();
+ *   EXPECT_EQ(sgms::alloc_probe_count(), before);
+ *
+ * The counter is process-wide; keep the measured section
+ * single-threaded (or tolerate counts from other threads).
+ */
+
+#ifndef SGMS_COMMON_ALLOC_PROBE_H
+#define SGMS_COMMON_ALLOC_PROBE_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace sgms
+{
+
+namespace detail
+{
+
+inline std::atomic<uint64_t> alloc_probe_count{0};
+
+/** Shared implementation for the operator-new overrides. */
+inline void *
+alloc_probe_alloc(std::size_t size)
+{
+    alloc_probe_count.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    void *p = std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+/** Shared implementation for the nothrow operator-new overrides. */
+inline void *
+alloc_probe_alloc_nothrow(std::size_t size) noexcept
+{
+    alloc_probe_count.fetch_add(1, std::memory_order_relaxed);
+    if (size == 0)
+        size = 1;
+    return std::malloc(size);
+}
+
+} // namespace detail
+
+/** Heap allocations since process start (probe-installed binaries). */
+inline uint64_t
+alloc_probe_count()
+{
+    return detail::alloc_probe_count.load(std::memory_order_relaxed);
+}
+
+} // namespace sgms
+
+// clang-format off
+#define SGMS_INSTALL_ALLOC_PROBE()                                     \
+    void *operator new(std::size_t size)                               \
+    {                                                                  \
+        return sgms::detail::alloc_probe_alloc(size);                  \
+    }                                                                  \
+    void *operator new[](std::size_t size)                             \
+    {                                                                  \
+        return sgms::detail::alloc_probe_alloc(size);                  \
+    }                                                                  \
+    void operator delete(void *p) noexcept { std::free(p); }           \
+    void operator delete[](void *p) noexcept { std::free(p); }         \
+    void operator delete(void *p, std::size_t) noexcept               \
+    {                                                                  \
+        std::free(p);                                                  \
+    }                                                                  \
+    void operator delete[](void *p, std::size_t) noexcept             \
+    {                                                                  \
+        std::free(p);                                                  \
+    }                                                                  \
+    /* The nothrow forms must be replaced too: std::stable_sort's   */ \
+    /* temporary buffer allocates via new(nothrow) and frees via the*/ \
+    /* sized delete above, and mixing a default-allocator new with a*/ \
+    /* malloc-backed delete trips ASan's alloc-dealloc matcher.     */ \
+    void *operator new(std::size_t size, const std::nothrow_t &)       \
+        noexcept                                                       \
+    {                                                                  \
+        return sgms::detail::alloc_probe_alloc_nothrow(size);          \
+    }                                                                  \
+    void *operator new[](std::size_t size, const std::nothrow_t &)     \
+        noexcept                                                       \
+    {                                                                  \
+        return sgms::detail::alloc_probe_alloc_nothrow(size);          \
+    }                                                                  \
+    void operator delete(void *p, const std::nothrow_t &) noexcept     \
+    {                                                                  \
+        std::free(p);                                                  \
+    }                                                                  \
+    void operator delete[](void *p, const std::nothrow_t &) noexcept   \
+    {                                                                  \
+        std::free(p);                                                  \
+    }                                                                  \
+    static_assert(true, "require trailing semicolon")
+// clang-format on
+
+#endif // SGMS_COMMON_ALLOC_PROBE_H

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "trace/trace_store.h"
 
 namespace sgms
 {
@@ -54,7 +55,10 @@ app_footprint_pages(const std::string &app, double scale,
     auto it = cache.find(key);
     if (it != cache.end())
         return it->second;
-    auto trace = make_app_trace(app, scale);
+    // Route through the trace store: the default-seed trace this
+    // measures is the one run() replays, so the materialization is
+    // paid once for both.
+    auto trace = make_stored_app_trace(app, scale);
     uint64_t fp = measure_footprint_pages(*trace, page_size);
     cache[key] = fp;
     return fp;
@@ -84,13 +88,14 @@ Experiment::config() const
         cfg.subpage_size = subpage_size;
     uint64_t fp = app_footprint_pages(app, scale, cfg.page_size);
     cfg.mem_pages = mem_pages_for(mem, fp);
+    cfg.footprint_pages_hint = fp;
     return cfg;
 }
 
 SimResult
 Experiment::run() const
 {
-    auto trace = make_app_trace(app, scale, seed);
+    auto trace = make_stored_app_trace(app, scale, seed);
     Simulator sim(config());
     SimResult res = sim.run(*trace);
     res.app = app;
@@ -100,7 +105,7 @@ Experiment::run() const
 SimResult
 Experiment::run(const obs::ObsSession &obs) const
 {
-    auto trace = make_app_trace(app, scale, seed);
+    auto trace = make_stored_app_trace(app, scale, seed);
     SimConfig cfg = config();
     obs.configure(cfg);
     Simulator sim(cfg);

@@ -101,6 +101,24 @@ struct SimConfig
     /** Keep per-fault records (Figure 5) and distance stats (Fig 7). */
     bool record_faults = true;
 
+    /**
+     * Expected trace footprint in pages; 0 = unknown. Purely a
+     * pre-sizing hint for the page table and replacement policy —
+     * never affects results, and excluded from the result-cache
+     * fingerprint.
+     */
+    size_t footprint_pages_hint = 0;
+
+    /**
+     * Wall-clock budget for one run in milliseconds; 0 = unlimited.
+     * Checked at trace-batch boundaries: when exceeded, the run
+     * aborts with SimTimeoutError (core/simulator.h) so the
+     * execution engine can degrade the point instead of hanging a
+     * sweep. Affects only whether a result is produced, never its
+     * contents, and is excluded from the result-cache fingerprint.
+     */
+    uint64_t wall_budget_ms = 0;
+
     /** Optional capture of component busy spans (Figure 2). */
     TimelineRecorder *timeline = nullptr;
 

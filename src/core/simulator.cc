@@ -1,6 +1,7 @@
 #include "core/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "obs/debug.h"
@@ -12,6 +13,13 @@ namespace
 {
 /** Minimum references between replacement-policy touches per page. */
 constexpr uint64_t TOUCH_GRANULARITY = 64;
+
+/**
+ * References consumed from the trace per next_batch call. Also the
+ * granularity of the wall-budget check: one clock read per batch is
+ * noise (~20 ns per ~1024 references).
+ */
+constexpr size_t TRACE_BATCH = 1024;
 } // namespace
 
 Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg))
@@ -50,6 +58,8 @@ Simulator::Run::Run(const SimConfig &cfg)
         c_duplicates = &metrics.counter("gms.duplicate_deliveries");
         d_retry_delay = &metrics.distribution("gms.retry_delay_ns");
     }
+    if (cfg.footprint_pages_hint)
+        pt.reserve(cfg.footprint_pages_hint);
     if (cfg.tlb_enabled)
         tlb = std::make_unique<Tlb>(cfg.tlb_entries, cfg.tlb_assoc,
                                     cfg.page_size);
@@ -654,8 +664,32 @@ Simulator::run(TraceSource &trace)
     // the slow path and refreshes this.
     PageTable::Frame *last_frame = nullptr;
 
-    TraceEvent ev;
-    while (trace.next(ev)) {
+    // Cooperative cancellation: the budget is checked once per
+    // consumed batch, so a runaway point aborts within one batch of
+    // references past its deadline no matter how slow each reference
+    // simulates.
+    using wall_clock = std::chrono::steady_clock;
+    const bool budgeted = cfg_.wall_budget_ms > 0;
+    wall_clock::time_point deadline;
+    if (budgeted) {
+        deadline = wall_clock::now() +
+                   std::chrono::milliseconds(cfg_.wall_budget_ms);
+    }
+
+    TraceEvent batch[TRACE_BATCH];
+    size_t batch_n = 0;
+    size_t batch_i = 0;
+    for (;;) {
+        if (batch_i == batch_n) {
+            batch_n = trace.next_batch(batch, TRACE_BATCH);
+            if (batch_n == 0)
+                break;
+            batch_i = 0;
+            if (budgeted && wall_clock::now() >= deadline)
+                throw SimTimeoutError(cfg_.wall_budget_ms,
+                                      r.ref_index);
+        }
+        const TraceEvent ev = batch[batch_i++];
         drain_due_events(r);
 
         if (r.tlb && !r.tlb->access(ev.addr)) {

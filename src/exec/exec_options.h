@@ -12,9 +12,13 @@
  *                   hardware threads. Env: SGMS_WORKERS (unset or 0 =
  *                   stay in-process). Output is byte-identical to the
  *                   serial path at any worker count.
- *   --point-timeout=MS  per-point wall-clock budget in the workers
- *                   mode; a point over budget has its worker killed
- *                   and is surfaced as a degraded result. Env:
+ *   --point-timeout=MS  per-point wall-clock budget. In workers mode
+ *                   a point over budget has its worker killed; in
+ *                   serial/thread-pool mode the simulator checks the
+ *                   budget cooperatively at trace-batch boundaries
+ *                   and aborts the point. Either way the point is
+ *                   surfaced as the same deterministic degraded
+ *                   result and counted in exec.timeouts. Env:
  *                   SGMS_POINT_TIMEOUT_MS. Default 0 (no watchdog).
  *   --cache-dir=D   result-cache directory; giving it enables the
  *                   cache. Env: SGMS_CACHE_DIR. Default .sgms-cache/.
@@ -53,7 +57,10 @@ struct ExecOptions
     /** Forked worker processes; 0 = in-process (threads/serial). */
     unsigned workers = 0;
 
-    /** Per-point wall-clock budget in workers mode; 0 = none. */
+    /**
+     * Per-point wall-clock budget (all modes; cooperative outside
+     * workers mode); 0 = none.
+     */
     uint64_t point_timeout_ms = 0;
 
     /** Consult/populate the on-disk result cache. */

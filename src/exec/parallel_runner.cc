@@ -4,6 +4,7 @@
 #include <future>
 
 #include "common/logging.h"
+#include "core/simulator.h"
 #include "exec/result_codec.h"
 #include "exec/supervisor.h"
 
@@ -118,6 +119,25 @@ Engine::pool()
 }
 
 SimResult
+Engine::execute_point(const Experiment &ex, bool &degraded)
+{
+    degraded = false;
+    if (opts_.point_timeout_ms > 0) {
+        Experiment budgeted = ex;
+        budgeted.base.wall_budget_ms = opts_.point_timeout_ms;
+        try {
+            return budgeted.run();
+        } catch (const SimTimeoutError &) {
+            degraded = true;
+            timeouts_.fetch_add(1, std::memory_order_relaxed);
+            points_degraded_.fetch_add(1, std::memory_order_relaxed);
+            return degraded_result(ex);
+        }
+    }
+    return ex.run();
+}
+
+SimResult
 Engine::run_point(const Experiment &ex)
 {
     if (cache_ && !has_observers(ex)) {
@@ -126,13 +146,18 @@ Engine::run_point(const Experiment &ex)
             points_cached_.fetch_add(1, std::memory_order_relaxed);
             return std::move(*hit);
         }
-        SimResult r = ex.run();
-        cache_->store(key, r);
-        points_run_.fetch_add(1, std::memory_order_relaxed);
+        bool degraded = false;
+        SimResult r = execute_point(ex, degraded);
+        if (!degraded) {
+            cache_->store(key, r);
+            points_run_.fetch_add(1, std::memory_order_relaxed);
+        }
         return r;
     }
-    SimResult r = ex.run();
-    points_run_.fetch_add(1, std::memory_order_relaxed);
+    bool degraded = false;
+    SimResult r = execute_point(ex, degraded);
+    if (!degraded)
+        points_run_.fetch_add(1, std::memory_order_relaxed);
     return r;
 }
 

@@ -132,6 +132,15 @@ class Engine
 
   private:
     SimResult run_point(const Experiment &ex);
+    /**
+     * Simulate @p ex, applying the cooperative wall budget when
+     * opts_.point_timeout_ms is set (serial and thread-pool modes;
+     * the process fleet has its own SIGKILL watchdog). On budget
+     * exhaustion @p degraded is set and the deterministic degraded
+     * result shape — the same one the supervisor path produces — is
+     * returned; degraded results are never cached.
+     */
+    SimResult execute_point(const Experiment &ex, bool &degraded);
     std::vector<SimResult>
     run_all_processes(const std::vector<Experiment> &points,
                       const Progress &progress);

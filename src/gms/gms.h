@@ -74,6 +74,10 @@ class GmsCluster
     {
         if (cfg_.servers == 0)
             fatal("gms: need at least one server node");
+        // Server-keyed maps hold at most one entry per server; one
+        // up-front reserve keeps the put_page path rehash-free.
+        per_server_.reserve(cfg_.servers);
+        failed_until_.reserve(cfg_.servers);
         if (metrics) {
             c_putpages_ = &metrics->counter("gms.putpages");
             c_discards_ = &metrics->counter("gms.global_discards");

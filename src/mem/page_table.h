@@ -13,6 +13,7 @@
 #ifndef SGMS_MEM_PAGE_TABLE_H
 #define SGMS_MEM_PAGE_TABLE_H
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -131,6 +132,22 @@ class PageTable
 
     /** Eviction count since construction. */
     uint64_t evictions() const { return evictions_; }
+
+    /**
+     * Pre-size storage for a trace expected to touch @p pages pages
+     * (trace address spaces are dense from 0, so the footprint also
+     * bounds the dense id range). Purely an optimization hint.
+     */
+    void
+    reserve(size_t pages)
+    {
+        policy_->reserve(pages);
+        size_t cap = std::min<size_t>(pages, DENSE_LIMIT);
+        if (cap > dense_.size()) {
+            dense_.resize(cap);
+            dense_present_.resize(cap, 0);
+        }
+    }
 
   private:
     /** Pages below this id use the flat array. */

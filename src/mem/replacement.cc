@@ -6,78 +6,11 @@
 namespace sgms
 {
 
-LruPolicy::Iter
-LruPolicy::find_iter(PageId page)
-{
-    if (page < DENSE_LIMIT) {
-        SGMS_ASSERT(page < dense_.size() && dense_present_[page]);
-        return dense_[page];
-    }
-    auto it = overflow_.find(page);
-    SGMS_ASSERT(it != overflow_.end());
-    return it->second;
-}
-
-void
-LruPolicy::store_iter(PageId page, Iter it)
-{
-    if (page < DENSE_LIMIT) {
-        if (page >= dense_.size()) {
-            size_t cap = std::max<size_t>(
-                std::max<size_t>(64, page + 1), dense_.size() * 2);
-            cap = std::min<size_t>(cap, DENSE_LIMIT);
-            dense_.resize(cap);
-            dense_present_.resize(cap, 0);
-        }
-        dense_[page] = it;
-        dense_present_[page] = 1;
-    } else {
-        overflow_[page] = it;
-    }
-}
-
-void
-LruPolicy::drop_iter(PageId page)
-{
-    if (page < DENSE_LIMIT) {
-        SGMS_ASSERT(page < dense_.size() && dense_present_[page]);
-        dense_present_[page] = 0;
-    } else {
-        size_t n = overflow_.erase(page);
-        SGMS_ASSERT(n == 1);
-    }
-}
-
-void
-LruPolicy::insert(PageId page)
-{
-    order_.push_front(page);
-    store_iter(page, order_.begin());
-    ++size_;
-}
-
-void
-LruPolicy::touch(PageId page)
-{
-    order_.splice(order_.begin(), order_, find_iter(page));
-}
-
-void
-LruPolicy::erase(PageId page)
-{
-    order_.erase(find_iter(page));
-    drop_iter(page);
-    --size_;
-}
-
 PageId
 LruPolicy::victim()
 {
     SGMS_ASSERT(!order_.empty());
-    PageId page = order_.back();
-    order_.pop_back();
-    drop_iter(page);
-    --size_;
+    PageId page = order_.pop_back();
     SGMS_DPRINTF(Mem, "lru: evict page %llu",
                  static_cast<unsigned long long>(page));
     return page;
@@ -86,27 +19,15 @@ LruPolicy::victim()
 void
 FifoPolicy::insert(PageId page)
 {
-    SGMS_ASSERT(!map_.count(page));
+    SGMS_ASSERT(!order_.contains(page));
     order_.push_back(page);
-    map_[page] = std::prev(order_.end());
-}
-
-void
-FifoPolicy::erase(PageId page)
-{
-    auto it = map_.find(page);
-    SGMS_ASSERT(it != map_.end());
-    order_.erase(it->second);
-    map_.erase(it);
 }
 
 PageId
 FifoPolicy::victim()
 {
     SGMS_ASSERT(!order_.empty());
-    PageId page = order_.front();
-    order_.pop_front();
-    map_.erase(page);
+    PageId page = order_.pop_front();
     SGMS_DPRINTF(Mem, "fifo: evict page %llu",
                  static_cast<unsigned long long>(page));
     return page;
@@ -148,6 +69,13 @@ ClockPolicy::erase(PageId page)
     ring_[it->second].valid = false;
     map_.erase(it);
     --live_;
+}
+
+void
+ClockPolicy::reserve(size_t pages)
+{
+    ring_.reserve(pages);
+    map_.reserve(pages);
 }
 
 PageId

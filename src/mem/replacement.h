@@ -5,18 +5,26 @@
  * The paper's simulator uses "a configurable memory management
  * module; an LRU policy is used by default". LRU is the default here
  * too; FIFO and Clock are provided for the replacement ablation.
+ *
+ * LRU and FIFO share an intrusive order list (DESIGN.md §13): nodes
+ * live in a contiguous pool linked by 32-bit indices, and a dense
+ * page-indexed array maps a page id to its node in one array load —
+ * no hashing and no per-insert allocation for pages below the dense
+ * limit. A policy touch is the single hottest non-trace operation in
+ * the simulator (one per TOUCH_GRANULARITY references).
  */
 
 #ifndef SGMS_MEM_REPLACEMENT_H
 #define SGMS_MEM_REPLACEMENT_H
 
 #include <algorithm>
-#include <list>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/types.h"
 
 namespace sgms
@@ -43,37 +51,245 @@ class ReplacementPolicy
     /** Number of tracked pages. */
     virtual size_t size() const = 0;
 
+    /** Pre-size internal storage for @p pages resident pages. */
+    virtual void reserve(size_t /* pages */) {}
+
     virtual const char *name() const = 0;
 };
 
 /**
- * Exact LRU via intrusive list. Iterators for small page ids live in
- * a flat array (one lookup per simulated reference makes this hot);
- * large ids fall back to a hash map.
+ * Recency/arrival order list over pooled nodes.
+ *
+ * Pages below DENSE_LIMIT resolve to their node through a flat
+ * array indexed by page id (NIL when absent); larger ids fall back
+ * to a hash map. Nodes are recycled through a free list, so a
+ * policy at steady state (insert/touch/victim churn) performs no
+ * allocation at all.
  */
+class PageOrderList
+{
+  public:
+    /** O(1): link @p page at the front (most-recent end). */
+    void
+    push_front(PageId page)
+    {
+        uint32_t n = acquire(page);
+        link_front(n);
+        store_index(page, n);
+        ++size_;
+    }
+
+    /** O(1): link @p page at the back (oldest end). */
+    void
+    push_back(PageId page)
+    {
+        uint32_t n = acquire(page);
+        link_back(n);
+        store_index(page, n);
+        ++size_;
+    }
+
+    /** O(1), allocation-free: move @p page to the front. */
+    void
+    move_front(PageId page)
+    {
+        uint32_t n = find_index(page);
+        if (n == head_)
+            return;
+        unlink(n);
+        link_front(n);
+    }
+
+    /** O(1): unlink @p page (must be present). */
+    void
+    remove(PageId page)
+    {
+        uint32_t n = find_index(page);
+        unlink(n);
+        release(page, n);
+        --size_;
+    }
+
+    /** Unlink and return the page at the back. */
+    PageId
+    pop_back()
+    {
+        SGMS_ASSERT(tail_ != NIL);
+        uint32_t n = tail_;
+        PageId page = nodes_[n].page;
+        unlink(n);
+        release(page, n);
+        --size_;
+        return page;
+    }
+
+    /** Unlink and return the page at the front. */
+    PageId
+    pop_front()
+    {
+        SGMS_ASSERT(head_ != NIL);
+        uint32_t n = head_;
+        PageId page = nodes_[n].page;
+        unlink(n);
+        release(page, n);
+        --size_;
+        return page;
+    }
+
+    bool
+    contains(PageId page) const
+    {
+        if (page < DENSE_LIMIT)
+            return page < dense_.size() && dense_[page] != NIL;
+        return overflow_.count(page) != 0;
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pre-size the pool and index for @p pages entries. */
+    void
+    reserve(size_t pages)
+    {
+        nodes_.reserve(pages);
+        free_.reserve(pages);
+        if (pages > dense_.size() && pages <= DENSE_LIMIT)
+            dense_.resize(pages, NIL);
+    }
+
+  private:
+    static constexpr uint32_t NIL = UINT32_MAX;
+    static constexpr PageId DENSE_LIMIT = 1ULL << 17;
+
+    struct Node
+    {
+        PageId page;
+        uint32_t prev;
+        uint32_t next;
+    };
+
+    uint32_t
+    acquire(PageId page)
+    {
+        uint32_t n;
+        if (!free_.empty()) {
+            n = free_.back();
+            free_.pop_back();
+        } else {
+            n = static_cast<uint32_t>(nodes_.size());
+            nodes_.push_back(Node{});
+        }
+        nodes_[n].page = page;
+        return n;
+    }
+
+    void
+    release(PageId page, uint32_t n)
+    {
+        free_.push_back(n);
+        drop_index(page);
+    }
+
+    void
+    link_front(uint32_t n)
+    {
+        nodes_[n].prev = NIL;
+        nodes_[n].next = head_;
+        if (head_ != NIL)
+            nodes_[head_].prev = n;
+        head_ = n;
+        if (tail_ == NIL)
+            tail_ = n;
+    }
+
+    void
+    link_back(uint32_t n)
+    {
+        nodes_[n].next = NIL;
+        nodes_[n].prev = tail_;
+        if (tail_ != NIL)
+            nodes_[tail_].next = n;
+        tail_ = n;
+        if (head_ == NIL)
+            head_ = n;
+    }
+
+    void
+    unlink(uint32_t n)
+    {
+        Node &node = nodes_[n];
+        if (node.prev != NIL)
+            nodes_[node.prev].next = node.next;
+        else
+            head_ = node.next;
+        if (node.next != NIL)
+            nodes_[node.next].prev = node.prev;
+        else
+            tail_ = node.prev;
+    }
+
+    uint32_t
+    find_index(PageId page) const
+    {
+        if (page < DENSE_LIMIT) {
+            SGMS_ASSERT(page < dense_.size() && dense_[page] != NIL);
+            return dense_[page];
+        }
+        auto it = overflow_.find(page);
+        SGMS_ASSERT(it != overflow_.end());
+        return it->second;
+    }
+
+    void
+    store_index(PageId page, uint32_t n)
+    {
+        if (page < DENSE_LIMIT) {
+            if (page >= dense_.size()) {
+                size_t cap = std::max<size_t>(
+                    std::max<size_t>(64, page + 1), dense_.size() * 2);
+                cap = std::min<size_t>(cap, DENSE_LIMIT);
+                dense_.resize(cap, NIL);
+            }
+            dense_[page] = n;
+        } else {
+            overflow_[page] = n;
+        }
+    }
+
+    void
+    drop_index(PageId page)
+    {
+        if (page < DENSE_LIMIT) {
+            dense_[page] = NIL;
+        } else {
+            size_t n = overflow_.erase(page);
+            SGMS_ASSERT(n == 1);
+        }
+    }
+
+    std::vector<Node> nodes_;
+    std::vector<uint32_t> free_;
+    std::vector<uint32_t> dense_; // page id -> node, NIL when absent
+    std::unordered_map<PageId, uint32_t> overflow_;
+    uint32_t head_ = NIL; // most recent (LRU) / newest (FIFO back)
+    uint32_t tail_ = NIL;
+    size_t size_ = 0;
+};
+
+/** Exact LRU over the intrusive order list; front = most recent. */
 class LruPolicy : public ReplacementPolicy
 {
   public:
-    void insert(PageId page) override;
-    void touch(PageId page) override;
-    void erase(PageId page) override;
+    void insert(PageId page) override { order_.push_front(page); }
+    void touch(PageId page) override { order_.move_front(page); }
+    void erase(PageId page) override { order_.remove(page); }
     PageId victim() override;
-    size_t size() const override { return size_; }
+    size_t size() const override { return order_.size(); }
+    void reserve(size_t pages) override { order_.reserve(pages); }
     const char *name() const override { return "lru"; }
 
   private:
-    using Iter = std::list<PageId>::iterator;
-    static constexpr PageId DENSE_LIMIT = 1ULL << 17;
-
-    Iter find_iter(PageId page);
-    void store_iter(PageId page, Iter it);
-    void drop_iter(PageId page);
-
-    std::list<PageId> order_; // front = most recent
-    std::vector<Iter> dense_;
-    std::vector<uint8_t> dense_present_;
-    std::unordered_map<PageId, Iter> overflow_;
-    size_t size_ = 0;
+    PageOrderList order_;
 };
 
 /** FIFO: evict in arrival order; references don't matter. */
@@ -82,14 +298,14 @@ class FifoPolicy : public ReplacementPolicy
   public:
     void insert(PageId page) override;
     void touch(PageId /* page */) override {}
-    void erase(PageId page) override;
+    void erase(PageId page) override { order_.remove(page); }
     PageId victim() override;
-    size_t size() const override { return map_.size(); }
+    size_t size() const override { return order_.size(); }
+    void reserve(size_t pages) override { order_.reserve(pages); }
     const char *name() const override { return "fifo"; }
 
   private:
-    std::list<PageId> order_; // front = oldest
-    std::unordered_map<PageId, std::list<PageId>::iterator> map_;
+    PageOrderList order_; // front = oldest
 };
 
 /** Second-chance Clock. */
@@ -101,6 +317,7 @@ class ClockPolicy : public ReplacementPolicy
     void erase(PageId page) override;
     PageId victim() override;
     size_t size() const override { return map_.size(); }
+    void reserve(size_t pages) override;
     const char *name() const override { return "clock"; }
 
   private:

@@ -125,7 +125,8 @@ struct MsgState
     Tick cost[5];
     Tick recv_cost;
     fault::MsgFate fate = fault::MsgFate::Deliver;
-    std::function<void(Tick delivered, Tick recv_cpu_cost)> delivered;
+    InlineFunction<void(Tick delivered, Tick recv_cpu_cost), 120>
+        delivered;
 };
 
 } // namespace

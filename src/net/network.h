@@ -14,10 +14,10 @@
 #define SGMS_NET_NETWORK_H
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/types.h"
 #include "net/params.h"
 #include "net/resource.h"
@@ -64,8 +64,10 @@ class Network
          * Called at delivery (end of the receive-CPU stage).
          * @p recv_cpu_cost is the receiver CPU time the message
          * consumed, which the simulator may charge to the program.
+         * Inline capacity sized for the simulator's largest delivery
+         * closures (run state + page identity + a FetchPlan copy).
          */
-        std::function<void(Tick delivered, Tick recv_cpu_cost)>
+        InlineFunction<void(Tick delivered, Tick recv_cpu_cost), 120>
             on_delivered;
     };
 

@@ -14,10 +14,10 @@
 #define SGMS_NET_RESOURCE_H
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/types.h"
 #include "net/params.h"
 #include "net/timeline.h"
@@ -31,8 +31,14 @@ namespace sgms
 class StageResource
 {
   public:
-    /** Called when the item's occupancy [start, end) completes. */
-    using Done = std::function<void(Tick start, Tick end)>;
+    /**
+     * Called when the item's occupancy [start, end) completes.
+     * Inline capacity covers the network's stage-chaining closures
+     * (this + shared_ptr message state + stage index); larger
+     * captures fall back to the heap, counted by
+     * inline_function_heap_fallbacks().
+     */
+    using Done = InlineFunction<void(Tick start, Tick end), 64>;
 
     /**
      * @param preemption when true, a higher-priority submission

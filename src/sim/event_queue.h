@@ -8,16 +8,24 @@
  * waiting for a transfer (see core/simulator.h). Everything
  * asynchronous — DMA stage completions, wire occupancy, message
  * deliveries — is an event.
+ *
+ * Layout (DESIGN.md §13): callbacks live in fixed-size pool slots
+ * (InlineFunction small-buffer storage, recycled through a free
+ * list), and ordering is a 4-ary heap of 16-byte (when, seq|slot)
+ * records. Scheduling an event in steady state touches no allocator:
+ * the slot comes from the free list and the capture is constructed
+ * in place. FIFO tie-breaking between equal-time events is preserved
+ * via the monotonically increasing sequence number.
  */
 
 #ifndef SGMS_SIM_EVENT_QUEUE_H
 #define SGMS_SIM_EVENT_QUEUE_H
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/logging.h"
 #include "common/types.h"
 
@@ -28,14 +36,33 @@ namespace sgms
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Inline capture budget. The largest steady-state closures are
+     * the simulator's fetch-request/delivery callbacks (~80 bytes:
+     * this, run state, page identity, a FetchPlan); anything larger
+     * spills to a counted heap fallback instead of failing.
+     */
+    static constexpr size_t kInlineCallbackBytes = 120;
+
+    using Callback = InlineFunction<void(), kInlineCallbackBytes>;
 
     /** Schedule @p fn to run at absolute time @p when. */
     void
     schedule(Tick when, Callback fn)
     {
         SGMS_ASSERT(when >= last_popped_);
-        heap_.push(Entry{when, seq_++, std::move(fn)});
+        uint32_t slot;
+        if (!free_.empty()) {
+            slot = free_.back();
+            free_.pop_back();
+            pool_[slot] = std::move(fn);
+        } else {
+            slot = static_cast<uint32_t>(pool_.size());
+            pool_.push_back(std::move(fn));
+        }
+        SGMS_ASSERT(slot < (1u << SLOT_BITS));
+        heap_.push_back(Entry{when, (seq_++ << SLOT_BITS) | slot});
+        sift_up(heap_.size() - 1);
     }
 
     /** True if no events are pending. */
@@ -48,7 +75,7 @@ class EventQueue
     Tick
     next_time() const
     {
-        return heap_.empty() ? TICK_MAX : heap_.top().when;
+        return heap_.empty() ? TICK_MAX : heap_[0].when;
     }
 
     /**
@@ -59,19 +86,25 @@ class EventQueue
     run_one()
     {
         SGMS_ASSERT(!heap_.empty());
-        // Move out the entry before running: callbacks may schedule.
-        Entry e = heap_.top();
-        heap_.pop();
-        last_popped_ = e.when;
-        e.fn();
-        return e.when;
+        Entry top = heap_[0];
+        uint32_t slot = top.slot();
+        // Move the callback out of its slot before running: the
+        // callback may schedule (growing the pool) or recursively
+        // drain the queue.
+        Callback fn = std::move(pool_[slot]);
+        free_.push_back(slot);
+        pop_root();
+        last_popped_ = top.when;
+        ++executed_;
+        fn();
+        return top.when;
     }
 
     /** Run all events with time <= @p now. */
     void
     run_until(Tick now)
     {
-        while (!heap_.empty() && heap_.top().when <= now)
+        while (!heap_.empty() && heap_[0].when <= now)
             run_one();
     }
 
@@ -86,24 +119,90 @@ class EventQueue
     }
 
     /** Total events executed (for stats / debugging). */
-    uint64_t executed() const { return seq_ - heap_.size(); }
+    uint64_t executed() const { return executed_; }
+
+    /** High-water mark of pool slots (fixed-size event records). */
+    size_t pool_capacity() const { return pool_.size(); }
 
   private:
+    static constexpr unsigned SLOT_BITS = 24;
+
+    /** Heap record: 16 bytes, ordering state only (callback in pool). */
     struct Entry
     {
         Tick when;
-        uint64_t seq;
-        Callback fn;
+        /**
+         * (seq << SLOT_BITS) | slot. seq increases monotonically, so
+         * comparing the packed word breaks when-ties FIFO; the slot
+         * in the low bits never affects order between distinct seqs.
+         */
+        uint64_t seq_slot;
+
+        uint32_t
+        slot() const
+        {
+            return static_cast<uint32_t>(seq_slot &
+                                         ((1u << SLOT_BITS) - 1));
+        }
 
         bool
-        operator>(const Entry &o) const
+        before(const Entry &o) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return when != o.when ? when < o.when
+                                  : seq_slot < o.seq_slot;
         }
     };
+    static_assert(sizeof(Entry) == 16, "heap entries stay compact");
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    static constexpr size_t ARITY = 4;
+
+    void
+    sift_up(size_t i)
+    {
+        Entry e = heap_[i];
+        while (i > 0) {
+            size_t parent = (i - 1) / ARITY;
+            if (!e.before(heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
+        }
+        heap_[i] = e;
+    }
+
+    void
+    pop_root()
+    {
+        Entry last = heap_.back();
+        heap_.pop_back();
+        if (heap_.empty())
+            return;
+        // Sift the former tail down from the root.
+        size_t i = 0;
+        size_t n = heap_.size();
+        for (;;) {
+            size_t first_child = i * ARITY + 1;
+            if (first_child >= n)
+                break;
+            size_t best = first_child;
+            size_t end = std::min(first_child + ARITY, n);
+            for (size_t c = first_child + 1; c < end; ++c) {
+                if (heap_[c].before(heap_[best]))
+                    best = c;
+            }
+            if (!heap_[best].before(last))
+                break;
+            heap_[i] = heap_[best];
+            i = best;
+        }
+        heap_[i] = last;
+    }
+
+    std::vector<Entry> heap_;
+    std::vector<Callback> pool_;
+    std::vector<uint32_t> free_;
     uint64_t seq_ = 0;
+    uint64_t executed_ = 0;
     Tick last_popped_ = 0;
 };
 

@@ -164,7 +164,7 @@ SyntheticTrace::hot_addr()
 }
 
 bool
-SyntheticTrace::next(TraceEvent &ev)
+SyntheticTrace::generate(TraceEvent &ev)
 {
     while (phase_left_ == 0) {
         if (phase_idx_ + 1 >= spec_.phases.size())
@@ -182,6 +182,21 @@ SyntheticTrace::next(TraceEvent &ev)
     }
     ev.write = rng_.chance(ph.write_frac);
     return true;
+}
+
+bool
+SyntheticTrace::next(TraceEvent &ev)
+{
+    return generate(ev);
+}
+
+size_t
+SyntheticTrace::next_batch(TraceEvent *out, size_t n)
+{
+    size_t got = 0;
+    while (got < n && generate(out[got]))
+        ++got;
+    return got;
 }
 
 } // namespace sgms

@@ -150,12 +150,15 @@ class SyntheticTrace : public TraceSource
     SyntheticTrace(WorkloadSpec spec, uint64_t seed = 1);
 
     bool next(TraceEvent &ev) override;
+    size_t next_batch(TraceEvent *out, size_t n) override;
     void reset() override;
     uint64_t size_hint() const override { return spec_.total_refs(); }
 
     const WorkloadSpec &spec() const { return spec_; }
 
   private:
+    /** next() without the virtual dispatch, for next_batch's loop. */
+    bool generate(TraceEvent &ev);
     /** Emit the next pattern (non-hot) address for the active phase. */
     Addr pattern_addr(const PhaseSpec &ph);
     /** A Zipf-over-lines address in the hot region. */

@@ -36,6 +36,22 @@ class TraceSource
     /** Produce the next event; false at end of trace. */
     virtual bool next(TraceEvent &ev) = 0;
 
+    /**
+     * Fill @p out with up to @p n events; returns the number
+     * produced (0 only at end of trace, for n > 0). The simulator's
+     * inner loop consumes references through this call so a source
+     * pays one virtual dispatch per batch, not per reference;
+     * sources with cheap bulk access override it (DESIGN.md §13).
+     */
+    virtual size_t
+    next_batch(TraceEvent *out, size_t n)
+    {
+        size_t got = 0;
+        while (got < n && next(out[got]))
+            ++got;
+        return got;
+    }
+
     /** Rewind to the beginning. */
     virtual void reset() = 0;
 
@@ -52,6 +68,23 @@ class VectorTrace : public TraceSource
         : events_(std::move(events))
     {}
 
+    /**
+     * Materialize @p src into memory, honoring its size_hint to
+     * avoid growth reallocations on load. @p src is left rewound.
+     */
+    explicit VectorTrace(TraceSource &src)
+    {
+        events_.reserve(src.size_hint());
+        src.reset();
+        TraceEvent ev;
+        while (src.next(ev))
+            events_.push_back(ev);
+        src.reset();
+    }
+
+    /** Pre-size for @p n pushes. */
+    void reserve(size_t n) { events_.reserve(n); }
+
     void
     push(Addr addr, bool write = false)
     {
@@ -65,6 +98,17 @@ class VectorTrace : public TraceSource
             return false;
         ev = events_[pos_++];
         return true;
+    }
+
+    size_t
+    next_batch(TraceEvent *out, size_t n) override
+    {
+        size_t avail = events_.size() - pos_;
+        size_t got = n < avail ? n : avail;
+        for (size_t i = 0; i < got; ++i)
+            out[i] = events_[pos_ + i];
+        pos_ += got;
+        return got;
     }
 
     void reset() override { pos_ = 0; }

@@ -134,6 +134,20 @@ FileTrace::next(TraceEvent &ev)
     return binary_ ? next_binary(ev) : next_text(ev);
 }
 
+size_t
+FileTrace::next_batch(TraceEvent *out, size_t n)
+{
+    size_t got = 0;
+    if (binary_) {
+        while (got < n && next_binary(out[got]))
+            ++got;
+    } else {
+        while (got < n && next_text(out[got]))
+            ++got;
+    }
+    return got;
+}
+
 bool
 FileTrace::next_binary(TraceEvent &ev)
 {

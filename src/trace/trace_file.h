@@ -39,6 +39,7 @@ class FileTrace : public TraceSource
     FileTrace &operator=(const FileTrace &) = delete;
 
     bool next(TraceEvent &ev) override;
+    size_t next_batch(TraceEvent *out, size_t n) override;
     void reset() override;
     uint64_t size_hint() const override { return count_; }
 

@@ -1,0 +1,146 @@
+#include "trace/trace_store.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "common/logging.h"
+#include "trace/apps.h"
+
+namespace sgms
+{
+
+namespace
+{
+
+struct Store
+{
+    std::mutex mutex;
+    std::map<std::tuple<std::string, double, uint64_t>,
+             std::shared_ptr<const PackedTrace>>
+        traces;
+    uint64_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t fallbacks = 0;
+};
+
+Store &
+store()
+{
+    static Store s;
+    return s;
+}
+
+bool
+store_enabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("SGMS_TRACE_STORE");
+        if (!env || !*env)
+            return true;
+        return !(env[0] == '0' && env[1] == '\0');
+    }();
+    return enabled;
+}
+
+uint64_t
+store_budget_bytes()
+{
+    static const uint64_t budget = [] {
+        const char *env = std::getenv("SGMS_TRACE_STORE_MAX_MB");
+        uint64_t mb = 256;
+        if (env && *env) {
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(env, &end, 10);
+            if (end == env)
+                fatal("bad SGMS_TRACE_STORE_MAX_MB value '%s'", env);
+            mb = v;
+        }
+        return mb * 1024 * 1024;
+    }();
+    return budget;
+}
+
+std::shared_ptr<const PackedTrace>
+materialize(const std::string &app, double scale, uint64_t seed)
+{
+    auto gen = make_app_trace(app, scale, seed);
+    auto packed = std::make_shared<PackedTrace>();
+    packed->reserve(gen->size_hint());
+    TraceEvent batch[512];
+    size_t n;
+    while ((n = gen->next_batch(batch, 512)) > 0) {
+        for (size_t i = 0; i < n; ++i) {
+            // The top address bit carries the write flag; synthetic
+            // (and any sane) traces never use it.
+            SGMS_ASSERT(batch[i].addr < (1ULL << 63));
+            packed->push_back((batch[i].addr << 1) |
+                              (batch[i].write ? 1 : 0));
+        }
+    }
+    return packed;
+}
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+make_stored_app_trace(const std::string &app, double scale,
+                      uint64_t seed)
+{
+    if (!store_enabled())
+        return make_app_trace(app, scale, seed);
+
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto key = std::make_tuple(app, scale, seed);
+    auto it = s.traces.find(key);
+    if (it != s.traces.end()) {
+        ++s.hits;
+        return std::make_unique<ReplayTrace>(it->second);
+    }
+
+    // Size is known exactly up front (synthetic traces declare their
+    // reference count), so the budget check precedes the expensive
+    // generation pass.
+    uint64_t need =
+        make_app_spec(app, scale).total_refs() * sizeof(uint64_t);
+    if (s.bytes + need > store_budget_bytes()) {
+        ++s.fallbacks;
+        return make_app_trace(app, scale, seed);
+    }
+
+    // Materialize under the lock: concurrent requesters of the same
+    // trace wait for one generation pass instead of racing through
+    // their own (same discipline as the footprint memo).
+    auto packed = materialize(app, scale, seed);
+    s.bytes += packed->size() * sizeof(uint64_t);
+    ++s.misses;
+    s.traces[key] = packed;
+    return std::make_unique<ReplayTrace>(std::move(packed));
+}
+
+TraceStoreStats
+trace_store_stats()
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    TraceStoreStats stats;
+    stats.hits = s.hits;
+    stats.misses = s.misses;
+    stats.fallbacks = s.fallbacks;
+    stats.bytes = s.bytes;
+    return stats;
+}
+
+void
+trace_store_clear()
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.traces.clear();
+    s.bytes = 0;
+}
+
+} // namespace sgms

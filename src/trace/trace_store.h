@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Process-wide store of materialized synthetic traces.
+ *
+ * A sweep runs the same (app, scale, seed) trace under dozens of
+ * configurations, and with `--jobs` several threads replay it at
+ * once. Regenerating the trace per point costs about as much as
+ * simulating it (the generator draws 2-3 RNG samples per reference),
+ * so the store materializes each trace once per process into an
+ * immutable packed buffer and hands out cheap per-point cursors
+ * (ReplayTrace) that share it by shared_ptr.
+ *
+ * Lifetime rules (DESIGN.md §13):
+ *  - the packed buffer is immutable after materialization; cursors
+ *    carry only their own position, so concurrent replay from many
+ *    threads needs no locking;
+ *  - the store keeps one shared_ptr per trace for the life of the
+ *    process, bounded by a cumulative byte budget
+ *    (SGMS_TRACE_STORE_MAX_MB, default 256); traces that would
+ *    exceed it fall back to streaming generation per point;
+ *  - SGMS_TRACE_STORE=0 disables materialization entirely
+ *    (every caller gets a streaming generator, the pre-store
+ *    behavior).
+ *
+ * Events pack to 8 bytes ((addr << 1) | write), half the footprint
+ * of TraceEvent, so a full-scale five-app mix fits the default
+ * budget's neighborhood; replay unpacks in the batch copy.
+ */
+
+#ifndef SGMS_TRACE_TRACE_STORE_H
+#define SGMS_TRACE_TRACE_STORE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace sgms
+{
+
+/** Immutable packed trace: each event is (addr << 1) | write. */
+using PackedTrace = std::vector<uint64_t>;
+
+/** Cursor over a shared packed trace; cheap to create per point. */
+class ReplayTrace : public TraceSource
+{
+  public:
+    explicit ReplayTrace(std::shared_ptr<const PackedTrace> events)
+        : events_(std::move(events))
+    {}
+
+    bool
+    next(TraceEvent &ev) override
+    {
+        if (pos_ >= events_->size())
+            return false;
+        uint64_t packed = (*events_)[pos_++];
+        ev.addr = packed >> 1;
+        ev.write = packed & 1;
+        return true;
+    }
+
+    size_t
+    next_batch(TraceEvent *out, size_t n) override
+    {
+        const PackedTrace &ev = *events_;
+        size_t avail = ev.size() - pos_;
+        size_t got = n < avail ? n : avail;
+        for (size_t i = 0; i < got; ++i) {
+            uint64_t packed = ev[pos_ + i];
+            out[i].addr = packed >> 1;
+            out[i].write = packed & 1;
+        }
+        pos_ += got;
+        return got;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    uint64_t size_hint() const override { return events_->size(); }
+
+    /** The shared buffer (for tests asserting sharing). */
+    const std::shared_ptr<const PackedTrace> &buffer() const
+    {
+        return events_;
+    }
+
+  private:
+    std::shared_ptr<const PackedTrace> events_;
+    size_t pos_ = 0;
+};
+
+/**
+ * An app trace ready to replay: a ReplayTrace cursor over the shared
+ * store when the trace is (or can be) materialized within budget, a
+ * streaming SyntheticTrace otherwise. Thread-safe; concurrent
+ * callers of the same key block on one materialization.
+ */
+std::unique_ptr<TraceSource>
+make_stored_app_trace(const std::string &app, double scale,
+                      uint64_t seed = 1);
+
+/** Store observability (tests, bench/sim_hotpath). */
+struct TraceStoreStats
+{
+    /** Requests served from an already-materialized buffer. */
+    uint64_t hits = 0;
+    /** Requests that materialized a new buffer. */
+    uint64_t misses = 0;
+    /** Requests that fell back to streaming generation. */
+    uint64_t fallbacks = 0;
+    /** Bytes held by materialized buffers. */
+    uint64_t bytes = 0;
+};
+
+TraceStoreStats trace_store_stats();
+
+/** Drop every stored trace (tests; not thread-safe vs. replayers). */
+void trace_store_clear();
+
+} // namespace sgms
+
+#endif // SGMS_TRACE_TRACE_STORE_H
