@@ -32,6 +32,7 @@
 #include "core/experiment.h"
 #include "exec/parallel_runner.h"
 #include "obs/session.h"
+#include "trace/trace_store.h"
 
 namespace sgms::bench
 {
@@ -133,12 +134,16 @@ progress_printer()
 
 /**
  * Observability wiring for a bench: parse --trace-out / --metrics /
- * --debug-flags / ... from its command line.
+ * --debug-flags / ... from its command line. Also honors
+ * --trace-dir=DIR (SGMS_TRACE_DIR env), pointing the trace store's
+ * mapped tier at DIR so every bench can replay baked traces.
  */
 inline obs::ObsSession
 obs_session(int argc, char **argv)
 {
     Options opts(argc, argv);
+    if (opts.has("trace-dir"))
+        trace_store_set_dir(opts.get("trace-dir"));
     return obs::ObsSession(opts);
 }
 

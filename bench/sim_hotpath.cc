@@ -220,11 +220,13 @@ main(int argc, char **argv)
 
     TraceStoreStats ts = trace_store_stats();
     std::printf("trace store: %llu hits, %llu misses, %llu "
-                "fallbacks, %.1f MiB\n",
+                "fallbacks, %.1f MiB heap, %.1f MiB mapped\n",
                 static_cast<unsigned long long>(ts.hits),
                 static_cast<unsigned long long>(ts.misses),
                 static_cast<unsigned long long>(ts.fallbacks),
-                static_cast<double>(ts.bytes) / (1024.0 * 1024.0));
+                static_cast<double>(ts.bytes) / (1024.0 * 1024.0),
+                static_cast<double>(ts.mapped_bytes) /
+                    (1024.0 * 1024.0));
 
     std::ofstream out(out_path);
     if (out) {
@@ -243,7 +245,8 @@ main(int argc, char **argv)
             "\"trace_generate_refs_per_sec\":%.0f,"
             "\"trace_replay_refs_per_sec\":%.0f,"
             "\"trace_store\":{\"hits\":%llu,\"misses\":%llu,"
-            "\"fallbacks\":%llu,\"bytes\":%llu}}\n",
+            "\"fallbacks\":%llu,\"bytes\":%llu,"
+            "\"mapped_bytes\":%llu}}\n",
             scale, BASELINE_MIX_REFS_PER_SEC, warm.refs_per_sec,
             cold.refs_per_sec,
             static_cast<unsigned long long>(warm.refs), speedup,
@@ -252,7 +255,8 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(ts.hits),
             static_cast<unsigned long long>(ts.misses),
             static_cast<unsigned long long>(ts.fallbacks),
-            static_cast<unsigned long long>(ts.bytes));
+            static_cast<unsigned long long>(ts.bytes),
+            static_cast<unsigned long long>(ts.mapped_bytes));
         out << buf;
         std::printf("wrote %s\n", out_path.c_str());
     } else {

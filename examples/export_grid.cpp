@@ -9,7 +9,8 @@
  *               [--scale=S] [--json=FILE] [--csv=FILE]
  *               [--jobs=N] [--workers=N] [--point-timeout=MS]
  *               [--cache-dir=DIR] [--no-cache] [--cache-max-mb=N]
- *               [--cache-gc] [--config-overrides...]
+ *               [--cache-gc] [--trace-bin=FILE] [--trace-dir=DIR]
+ *               [--config-overrides...]
  *
  * Defaults reproduce the Figure 9 grid (all apps, fullpage + eager +
  * pipelining at 1K, 1/2-mem).
@@ -24,6 +25,12 @@
  * addressed result cache, so a re-run recomputes only points whose
  * configuration changed; --cache-max-mb bounds the cache directory
  * with LRU eviction, and --cache-gc runs one eviction pass up front.
+ *
+ * --trace-bin=FILE replays a baked SGMB trace (zero-copy mmap) in
+ * place of the synthetic app models; the app axis collapses to the
+ * file. --trace-dir=DIR (SGMS_TRACE_DIR env) enables the trace
+ * store's mapped tier: synthetic traces are baked there once and
+ * mmap'd on every later run.
  */
 
 #include <cstdio>
@@ -40,6 +47,7 @@
 #include "core/json_report.h"
 #include "core/sweep.h"
 #include "exec/parallel_runner.h"
+#include "trace/trace_store.h"
 
 using namespace sgms;
 
@@ -70,7 +78,9 @@ main(int argc, char **argv)
                     "[--json=FILE] [--csv=FILE] [--jobs=N] "
                     "[--workers=N] [--point-timeout=MS]\n"
                     "  [--cache-dir=DIR] [--no-cache] "
-                    "[--cache-max-mb=N] [--cache-gc] [overrides]\n"
+                    "[--cache-max-mb=N] [--cache-gc]\n"
+                    "  [--trace-bin=FILE] [--trace-dir=DIR] "
+                    "[overrides]\n"
                     "%s\n%s\n",
                     config_override_help(), exec::ExecOptions::help());
         return 0;
@@ -92,6 +102,16 @@ main(int argc, char **argv)
                                              : MemConfig::Half);
     }
     spec.scale = opts.get_double("scale", scale_from_env(1.0));
+    if (opts.has("trace-dir"))
+        trace_store_set_dir(opts.get("trace-dir"));
+    spec.trace_bin = opts.get("trace-bin", "");
+    if (!spec.trace_bin.empty()) {
+        // One file = one trace: the app axis only labels the points.
+        size_t slash = spec.trace_bin.find_last_of('/');
+        spec.apps = {slash == std::string::npos
+                         ? spec.trace_bin
+                         : spec.trace_bin.substr(slash + 1)};
+    }
     apply_config_overrides(spec.base, opts);
 
     exec::ExecOptions eo = exec::ExecOptions::from_options(opts);

@@ -18,7 +18,9 @@
 #include "core/config_override.h"
 #include "core/simulator.h"
 #include "obs/session.h"
+#include "trace/mmap_trace.h"
 #include "trace/synthetic.h"
+#include "trace/trace.h"
 
 using namespace sgms;
 
@@ -27,12 +29,23 @@ main(int argc, char **argv)
 {
     Options opts(argc, argv);
     if (opts.has("help")) {
-        std::printf("usage: quickstart [flags]\n%s\n%s\n",
+        std::printf("usage: quickstart [--trace-bin=FILE] [flags]\n"
+                    "%s\n%s\n",
                     obs::ObsSession::help(),
                     config_override_help());
         return 0;
     }
     obs::ObsSession obs(opts);
+    // --trace-bin replays a baked SGMB file (zero-copy mmap) in
+    // place of the built-in synthetic workload.
+    std::string trace_bin = opts.get("trace-bin", "");
+    std::unique_ptr<TraceSource> file_trace;
+    uint64_t mem_pages = 44; // half of the built-in 88-page footprint
+    if (!trace_bin.empty()) {
+        file_trace = make_mapped_trace(trace_bin);
+        uint64_t fp = measure_footprint_pages(*file_trace, 8192);
+        mem_pages = std::max<uint64_t>(2, fp / 2);
+    }
     // 1. Describe a workload: a hot set plus two phases — a sweep
     //    that touches one subpage per page (overlappable faults) and
     //    a dense scan that consumes whole pages (blocking faults).
@@ -67,7 +80,7 @@ main(int argc, char **argv)
         cfg.policy = policy;
         cfg.subpage_size =
             std::string(policy) == "eager" ? 1024 : 8192;
-        cfg.mem_pages = 44; // half of the 88-page footprint
+        cfg.mem_pages = mem_pages;
         // Honor the shared overrides (--faults, --servers, ...) but
         // keep this run's policy/subpage/memory choices.
         std::string keep_policy = cfg.policy;
@@ -83,9 +96,14 @@ main(int argc, char **argv)
             obs.tracer()->clear();
         obs.configure(cfg);
 
-        SyntheticTrace trace(spec, /*seed=*/42);
         Simulator sim(cfg);
-        SimResult r = sim.run(trace);
+        SimResult r;
+        if (file_trace) {
+            r = sim.run(*file_trace);
+        } else {
+            SyntheticTrace trace(spec, /*seed=*/42);
+            r = sim.run(trace);
+        }
         if (std::string(policy) == "disk")
             disk_result = r;
         last = r;

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Trace format converter and bake tool for the SGMB binary format.
+ *
+ * Usage:
+ *   trace_convert to-bin <in> <out> [--app=NAME] [--scale=S] [--seed=N]
+ *       convert any readable trace (text, legacy SGMT, SGMB) to SGMB,
+ *       recording the given provenance metadata in the header
+ *   trace_convert to-text <in> <out>
+ *       convert any readable trace to the text format
+ *   trace_convert bake <app> [--scale=S] [--seed=N] [--dir=DIR]
+ *       write the synthetic generator's output for (app, scale,
+ *       seed) as a content-named SGMB file under DIR (default:
+ *       SGMS_TRACE_DIR, else .sgms-traces) — the same file the
+ *       trace store's mapped tier uses, so a pre-baked sweep starts
+ *       replaying instantly
+ *   trace_convert info <file>
+ *       dump an SGMB header and verify the payload hash
+ *
+ * SGMB files replay zero-copy through mmap (trace/mmap_trace.h):
+ * point any driver at one with --trace-bin=FILE, or set
+ * SGMS_TRACE_DIR to have synthetic traces baked and mapped
+ * automatically.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "common/options.h"
+#include "common/units.h"
+#include "trace/apps.h"
+#include "trace/binfmt.h"
+#include "trace/mmap_trace.h"
+#include "trace/trace_file.h"
+#include "trace/trace_store.h"
+
+using namespace sgms;
+
+namespace
+{
+
+int
+cmd_to_bin(const Options &opts)
+{
+    const auto &pos = opts.positional();
+    if (pos.size() < 3)
+        fatal("usage: trace_convert to-bin <in> <out> [--app=NAME] "
+              "[--scale=S] [--seed=N]");
+    auto in = open_trace(pos[1]);
+    uint64_t n = write_bin_trace(*in, pos[2], opts.get("app", pos[1]),
+                                 opts.get_double("scale", 0.0),
+                                 opts.get_u64("seed", 0));
+    std::printf("wrote %llu records to %s\n",
+                static_cast<unsigned long long>(n), pos[2].c_str());
+    return 0;
+}
+
+int
+cmd_to_text(const Options &opts)
+{
+    const auto &pos = opts.positional();
+    if (pos.size() < 3)
+        fatal("usage: trace_convert to-text <in> <out>");
+    auto in = open_trace(pos[1]);
+    write_trace_text(*in, pos[2]);
+    std::printf("wrote %llu references to %s\n",
+                static_cast<unsigned long long>(in->size_hint()),
+                pos[2].c_str());
+    return 0;
+}
+
+int
+cmd_bake(const Options &opts)
+{
+    const auto &pos = opts.positional();
+    if (pos.size() < 2)
+        fatal("usage: trace_convert bake <app> [--scale=S] [--seed=N] "
+              "[--dir=DIR]");
+    std::string dir = opts.get("dir", env_string("SGMS_TRACE_DIR",
+                                                 ".sgms-traces"));
+    double scale = opts.get_double("scale", 1.0);
+    uint64_t seed = opts.get_u64("seed", 1);
+    std::string path = bake_app_trace(pos[1], scale, seed, dir);
+    BinTraceHeader hdr;
+    std::string error;
+    if (!read_bin_header(path, hdr, error))
+        fatal("baked file '%s' failed validation: %s", path.c_str(),
+              error.c_str());
+    std::printf("baked %s scale=%g seed=%llu: %llu refs, %s\n",
+                pos[1].c_str(), scale,
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(hdr.ref_count),
+                path.c_str());
+    return 0;
+}
+
+int
+cmd_info(const Options &opts)
+{
+    const auto &pos = opts.positional();
+    if (pos.size() < 2)
+        fatal("usage: trace_convert info <file>");
+    BinTraceHeader hdr;
+    std::string error;
+    if (!read_bin_header(pos[1], hdr, error))
+        fatal("'%s': %s", pos[1].c_str(), error.c_str());
+    auto file = MappedTraceFile::open(pos[1]);
+    uint64_t actual = file->payload_hash();
+    std::printf("file:          %s\n", pos[1].c_str());
+    std::printf("format:        SGMB v%u\n", hdr.version);
+    std::printf("references:    %llu\n",
+                static_cast<unsigned long long>(hdr.ref_count));
+    std::printf("payload:       %s\n",
+                format_bytes(hdr.ref_count * kBinTraceRecordBytes)
+                    .c_str());
+    std::printf("app:           %s\n",
+                hdr.app.empty() ? "(unknown)" : hdr.app.c_str());
+    std::printf("scale:         %g\n", hdr.scale);
+    std::printf("seed:          %llu\n",
+                static_cast<unsigned long long>(hdr.seed));
+    std::printf("payload hash:  %016llx (%s)\n",
+                static_cast<unsigned long long>(hdr.payload_hash),
+                actual == hdr.payload_hash ? "verified" : "MISMATCH");
+    if (actual != hdr.payload_hash)
+        fatal("payload hash mismatch: records are corrupted");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts(argc, argv);
+    const auto &pos = opts.positional();
+    if (pos.empty() || opts.has("help")) {
+        std::printf(
+            "usage: trace_convert to-bin <in> <out> [--app=] [--scale=]"
+            " [--seed=]\n"
+            "       trace_convert to-text <in> <out>\n"
+            "       trace_convert bake <app> [--scale=] [--seed=] "
+            "[--dir=]\n"
+            "       trace_convert info <file>\n");
+        return pos.empty() && !opts.has("help") ? 1 : 0;
+    }
+    if (pos[0] == "to-bin")
+        return cmd_to_bin(opts);
+    if (pos[0] == "to-text")
+        return cmd_to_text(opts);
+    if (pos[0] == "bake")
+        return cmd_bake(opts);
+    if (pos[0] == "info")
+        return cmd_info(opts);
+    fatal("unknown command '%s'", pos[0].c_str());
+}

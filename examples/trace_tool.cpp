@@ -4,11 +4,14 @@
  *
  * Usage:
  *   trace_tool gen <app> <file> [scale] [seed]   write a synthetic
- *                                                trace (binary SGMT;
+ *                                                trace (binary SGMB;
  *                                                .txt suffix = text)
  *   trace_tool info <file>                       summarize a trace
  *   trace_tool sim <file> [policy] [subpage] [mem_pages]
  *                                                simulate a trace
+ *
+ * All commands read any trace format (SGMB via zero-copy mmap,
+ * legacy SGMT, text); see trace_convert for conversion and baking.
  *
  * `sim` also understands the observability flags (--trace-out,
  * --trace-timeline, --metrics, --debug-flags; see obs/session.h).
@@ -30,6 +33,7 @@
 #include "core/simulator.h"
 #include "obs/session.h"
 #include "trace/apps.h"
+#include "trace/binfmt.h"
 #include "trace/trace_file.h"
 
 using namespace sgms;
@@ -53,10 +57,10 @@ cmd_gen(int argc, char **argv)
     if (text)
         write_trace_text(*trace, path);
     else
-        write_trace_binary(*trace, path);
+        write_bin_trace(*trace, path, app, scale, seed);
     std::printf("wrote %llu events (%s format) to %s\n",
                 static_cast<unsigned long long>(trace->size_hint()),
-                text ? "text" : "binary", path.c_str());
+                text ? "text" : "binary SGMB", path.c_str());
     return 0;
 }
 
@@ -65,17 +69,17 @@ cmd_info(int argc, char **argv)
 {
     if (argc < 3)
         fatal("usage: trace_tool info <file>");
-    FileTrace trace(argv[2]);
+    auto trace = open_trace(argv[2]);
     uint64_t refs = 0, writes = 0;
     Addr min_addr = ~0ULL, max_addr = 0;
     TraceEvent ev;
-    while (trace.next(ev)) {
+    while (trace->next(ev)) {
         ++refs;
         writes += ev.write;
         min_addr = std::min(min_addr, ev.addr);
         max_addr = std::max(max_addr, ev.addr);
     }
-    uint64_t footprint = measure_footprint_pages(trace, 8192);
+    uint64_t footprint = measure_footprint_pages(*trace, 8192);
 
     Table t({"metric", "value"});
     t.add_row({"events", Table::fmt_int(refs)});
@@ -99,7 +103,7 @@ cmd_sim(int argc, char **argv)
     if (pos.size() < 2)
         fatal("usage: trace_tool sim <file> [policy] [subpage] "
               "[mem_pages] [obs flags]");
-    FileTrace trace(pos[1]);
+    auto trace = open_trace(pos[1]);
     SimConfig cfg;
     cfg.policy = pos.size() > 2 ? pos[2] : "eager";
     cfg.subpage_size =
@@ -112,7 +116,7 @@ cmd_sim(int argc, char **argv)
     obs.configure(cfg);
 
     Simulator sim(cfg);
-    SimResult r = sim.run(trace);
+    SimResult r = sim.run(*trace);
 
     Table t({"metric", "value"});
     t.add_row({"references", Table::fmt_int(r.refs)});

@@ -17,7 +17,10 @@
 #                             against the committed
 #                             results/BENCH_sim_hotpath.json
 #                             (>25% warm-mix regression fails;
-#                             SGMS_PERF_SMOKE=0 skips)
+#                             SGMS_PERF_SMOKE=0 skips), and the
+#                             trace_io bench (binary trace pipeline;
+#                             fails when mmap startup-to-first-ref
+#                             is not at least 5x faster than heap)
 #   scripts/check.sh --quick  tier 1 only
 #
 # Exits non-zero on the first failure.
@@ -56,6 +59,18 @@ echo "== smoke: multi-process sweep is byte-identical =="
 cmp "$tmp_grid/serial.json" "$tmp_grid/workers.json"
 cmp "$tmp_grid/serial.csv" "$tmp_grid/workers.csv"
 echo "   workers=2 output matches jobs=1 byte for byte"
+
+echo "== smoke: mapped trace tier is byte-identical =="
+# Same grid with SGMS_TRACE_DIR: traces are baked once and replayed
+# through mmap by a forked worker fleet sharing the baked files.
+SGMS_TRACE_DIR="$tmp_grid/traces" \
+    ./build/examples/export_grid --scale=0.05 --workers=2 \
+    --json="$tmp_grid/mapped.json" --csv="$tmp_grid/mapped.csv" \
+    >/dev/null
+cmp "$tmp_grid/serial.json" "$tmp_grid/mapped.json"
+cmp "$tmp_grid/serial.csv" "$tmp_grid/mapped.csv"
+baked=$(ls "$tmp_grid/traces"/*.sgmb | wc -l)
+echo "   mapped replay matches heap byte for byte ($baked baked files)"
 
 echo "== smoke: trace export =="
 ./build/examples/quickstart --trace-out="$tmp_trace" >/dev/null
@@ -127,6 +142,23 @@ assert ratio >= 0.75, (
 print("   perf smoke passed")
 EOF
     fi
+
+    echo "== bench: binary trace pipeline =="
+    # Bake + replay a 10M+-ref trace and require the mapped tier's
+    # startup-to-first-ref to beat heap materialization by >= 5x.
+    # Self-relative, so it holds on any hardware; no skip knob.
+    SGMS_TRACE_DIR="$tmp_grid/traces" \
+        ./build/bench/trace_io --out=results/BENCH_trace_io_current.json
+    python3 - <<'EOF'
+import json
+current = json.load(open("results/BENCH_trace_io_current.json"))
+speedup = current["startup_speedup"]
+print(f"   startup-to-first-ref: heap {current['startup_heap_ms']:.1f} ms, "
+      f"mmap {current['startup_mmap_ms']:.3f} ms ({speedup:.0f}x)")
+assert speedup >= 5.0, (
+    f"mapped-tier startup speedup {speedup:.1f}x is below the 5x floor")
+print("   trace_io smoke passed")
+EOF
 fi
 
 echo "== all checks passed =="

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "trace/mmap_trace.h"
 #include "trace/trace_store.h"
 
 namespace sgms
@@ -64,6 +65,25 @@ app_footprint_pages(const std::string &app, double scale,
     return fp;
 }
 
+uint64_t
+file_footprint_pages(const std::string &path, uint32_t page_size)
+{
+    // Same memo discipline as app_footprint_pages: baked files are
+    // immutable (content-named, atomic rename), so path+page_size
+    // identifies the measurement.
+    static std::mutex mutex;
+    static std::map<std::pair<std::string, uint32_t>, uint64_t> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto key = std::make_pair(path, page_size);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    auto trace = make_mapped_trace(path);
+    uint64_t fp = measure_footprint_pages(*trace, page_size);
+    cache[key] = fp;
+    return fp;
+}
+
 std::string
 Experiment::label() const
 {
@@ -86,18 +106,28 @@ Experiment::config() const
         cfg.subpage_size = cfg.page_size;
     else
         cfg.subpage_size = subpage_size;
-    uint64_t fp = app_footprint_pages(app, scale, cfg.page_size);
+    uint64_t fp = trace_bin.empty()
+                      ? app_footprint_pages(app, scale, cfg.page_size)
+                      : file_footprint_pages(trace_bin, cfg.page_size);
     cfg.mem_pages = mem_pages_for(mem, fp);
     cfg.footprint_pages_hint = fp;
     return cfg;
 }
 
+std::unique_ptr<TraceSource>
+Experiment::trace() const
+{
+    if (!trace_bin.empty())
+        return make_mapped_trace(trace_bin);
+    return make_stored_app_trace(app, scale, seed);
+}
+
 SimResult
 Experiment::run() const
 {
-    auto trace = make_stored_app_trace(app, scale, seed);
+    auto trace_src = trace();
     Simulator sim(config());
-    SimResult res = sim.run(*trace);
+    SimResult res = sim.run(*trace_src);
     res.app = app;
     return res;
 }
@@ -105,11 +135,11 @@ Experiment::run() const
 SimResult
 Experiment::run(const obs::ObsSession &obs) const
 {
-    auto trace = make_stored_app_trace(app, scale, seed);
+    auto trace_src = trace();
     SimConfig cfg = config();
     obs.configure(cfg);
     Simulator sim(cfg);
-    SimResult res = sim.run(*trace);
+    SimResult res = sim.run(*trace_src);
     res.app = app;
     obs.finish(res);
     return res;

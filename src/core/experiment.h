@@ -42,12 +42,29 @@ size_t mem_pages_for(MemConfig mem, uint64_t footprint_pages);
 uint64_t app_footprint_pages(const std::string &app, double scale,
                              uint32_t page_size = 8192);
 
+/**
+ * Footprint (pages) of a baked SGMB trace file; memoized by path,
+ * since measuring it means replaying the mapping once.
+ */
+uint64_t file_footprint_pages(const std::string &path,
+                              uint32_t page_size = 8192);
+
 /** One experiment: app x policy x subpage size x memory config. */
 struct Experiment
 {
     std::string app = "modula3";
     double scale = 1.0;
     uint64_t seed = 1;
+
+    /**
+     * When non-empty: replay this baked SGMB trace file (zero-copy
+     * mmap, trace/mmap_trace.h) instead of the synthetic model named
+     * by app/scale/seed, which then serve only as labels. This is
+     * the real-trace ingestion path (`--trace-bin=FILE`); the result
+     * cache keys on the file's header hash, so a re-baked file is a
+     * different point. Must be SGMB (bake with trace_convert).
+     */
+    std::string trace_bin;
 
     /** "disk", "fullpage", "eager", "pipelining", ... */
     std::string policy = "eager";
@@ -69,6 +86,12 @@ struct Experiment
 
     /** Build the final SimConfig. */
     SimConfig config() const;
+
+    /**
+     * The trace this experiment replays: an mmap cursor when
+     * trace_bin is set, the shared trace store otherwise.
+     */
+    std::unique_ptr<TraceSource> trace() const;
 
     /** Run it. */
     SimResult run() const;

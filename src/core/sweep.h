@@ -38,6 +38,13 @@ struct SweepSpec
     std::vector<MemConfig> mems = {MemConfig::Half};
     double scale = 1.0;
     uint64_t seed = 1;
+    /**
+     * When non-empty, every point replays this baked SGMB file
+     * instead of the synthetic app models (Experiment::trace_bin);
+     * apps then only label the points, so callers usually collapse
+     * the app axis to one entry.
+     */
+    std::string trace_bin;
     /** Base configuration applied to every point. */
     SimConfig base;
 

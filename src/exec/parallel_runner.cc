@@ -74,6 +74,7 @@ expand_sweep(const SweepSpec &spec)
                     ex.policy = policy;
                     ex.subpage_size = sp;
                     ex.mem = mem;
+                    ex.trace_bin = spec.trace_bin;
                     ex.base = spec.base;
                     points.push_back(std::move(ex));
                 }

@@ -17,6 +17,7 @@
 
 #include "common/logging.h"
 #include "exec/result_codec.h"
+#include "trace/binfmt.h"
 
 namespace sgms::exec
 {
@@ -160,10 +161,24 @@ experiment_fingerprint(const Experiment &ex)
     Fingerprint fp;
     fp.add("schema", static_cast<uint64_t>(kResultBlobSchema));
 
-    // Trace identity: traces are generated from (app, scale, seed).
+    // Trace identity: traces are generated from (app, scale, seed),
+    // or replayed from a baked SGMB file (--trace-bin), in which
+    // case the file's header (reference count + payload hash,
+    // written at bake time) is the content identity — a re-baked or
+    // edited file is a different key, a renamed copy is not.
     fp.add("trace.app", ex.app);
     fp.add("trace.scale", ex.scale);
     fp.add("trace.seed", ex.seed);
+    fp.add("trace.bin", ex.trace_bin.empty() ? "0" : "1");
+    if (!ex.trace_bin.empty()) {
+        BinTraceHeader hdr;
+        std::string error;
+        if (!read_bin_header(ex.trace_bin, hdr, error))
+            fatal("--trace-bin file '%s': %s", ex.trace_bin.c_str(),
+                  error.c_str());
+        fp.add("trace.bin_refs", hdr.ref_count);
+        fp.add("trace.bin_hash", hdr.payload_hash);
+    }
 
     fp.add("cfg.page_size", static_cast<uint64_t>(cfg.page_size));
     fp.add("cfg.subpage_size",

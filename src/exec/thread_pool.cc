@@ -84,13 +84,17 @@ ThreadPool::worker_main(unsigned index)
             }
             --queued_;
             ++running_;
+            // Counted at dispatch, not completion: a submitter that
+            // waits on the task's future (fulfilled inside task())
+            // must see the counter include it, and the worker only
+            // re-acquires the lock after the future resolves.
+            ++stats_.executed;
         }
         space_cv_.notify_one();
         task();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --running_;
-            ++stats_.executed;
             if (queued_ == 0 && running_ == 0)
                 idle_cv_.notify_all();
         }

@@ -1,9 +1,12 @@
 #include "trace/trace_file.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstring>
 
 #include "common/logging.h"
+#include "trace/binfmt.h"
+#include "trace/mmap_trace.h"
 
 namespace sgms
 {
@@ -12,6 +15,8 @@ namespace
 {
 constexpr char MAGIC[4] = {'S', 'G', 'M', 'T'};
 constexpr uint32_t VERSION = 1;
+constexpr size_t RECORD_BYTES = 9; // 1 flag byte + 8 address bytes
+constexpr size_t BUF_BYTES = 64 * 1024;
 
 void
 put_u32(std::FILE *f, uint32_t v)
@@ -100,7 +105,16 @@ write_trace_text(TraceSource &trace, const std::string &path)
     trace.reset();
 }
 
-FileTrace::FileTrace(const std::string &path) : path_(path)
+std::unique_ptr<TraceSource>
+open_trace(const std::string &path)
+{
+    if (is_bin_trace(path))
+        return make_mapped_trace(path);
+    return std::make_unique<FileTrace>(path);
+}
+
+FileTrace::FileTrace(const std::string &path)
+    : path_(path), buf_(BUF_BYTES)
 {
     file_ = std::fopen(path.c_str(), "rb");
     if (!file_)
@@ -115,6 +129,10 @@ FileTrace::FileTrace(const std::string &path) : path_(path)
         if (!get_u64(file_, count_))
             fatal("trace file '%s': truncated header", path.c_str());
         data_start_ = std::ftell(file_);
+    } else if (n == 4 && std::memcmp(magic, "SGMB", 4) == 0) {
+        fatal("trace file '%s' is an SGMB binary trace; open it with "
+              "open_trace() / make_mapped_trace()",
+              path.c_str());
     } else {
         binary_ = false;
         data_start_ = 0;
@@ -131,62 +149,124 @@ FileTrace::~FileTrace()
 bool
 FileTrace::next(TraceEvent &ev)
 {
-    return binary_ ? next_binary(ev) : next_text(ev);
+    return next_batch(&ev, 1) == 1;
 }
 
 size_t
 FileTrace::next_batch(TraceEvent *out, size_t n)
 {
+    return binary_ ? batch_binary(out, n) : batch_text(out, n);
+}
+
+void
+FileTrace::refill()
+{
+    if (bpos_ > 0) {
+        std::memmove(buf_.data(), buf_.data() + bpos_, blen_ - bpos_);
+        blen_ -= bpos_;
+        bpos_ = 0;
+    }
+    if (eof_)
+        return;
+    // Keep one spare byte for the text parser's terminator.
+    size_t want = buf_.size() - 1 - blen_;
+    size_t got = std::fread(buf_.data() + blen_, 1, want, file_);
+    blen_ += got;
+    if (got < want)
+        eof_ = true;
+}
+
+size_t
+FileTrace::batch_binary(TraceEvent *out, size_t n)
+{
     size_t got = 0;
-    if (binary_) {
-        while (got < n && next_binary(out[got]))
+    while (got < n) {
+        if (blen_ - bpos_ < RECORD_BYTES) {
+            refill();
+            if (blen_ - bpos_ == 0)
+                break; // clean end of trace
+            if (blen_ - bpos_ < RECORD_BYTES)
+                fatal("trace file '%s': truncated record",
+                      path_.c_str());
+        }
+        // Decode as many whole records as the buffer holds (or the
+        // caller wants) without re-checking the buffer per record.
+        size_t runnable = (blen_ - bpos_) / RECORD_BYTES;
+        size_t run = std::min(n - got, runnable);
+        const unsigned char *p =
+            reinterpret_cast<const unsigned char *>(buf_.data()) + bpos_;
+        for (size_t r = 0; r < run; ++r) {
+            uint64_t addr = 0;
+            for (int i = 0; i < 8; ++i)
+                addr |= static_cast<uint64_t>(p[1 + i]) << (8 * i);
+            out[got].addr = addr;
+            out[got].write = p[0] & 1;
             ++got;
-    } else {
-        while (got < n && next_text(out[got]))
-            ++got;
+            p += RECORD_BYTES;
+        }
+        bpos_ += run * RECORD_BYTES;
     }
     return got;
 }
 
-bool
-FileTrace::next_binary(TraceEvent &ev)
+size_t
+FileTrace::batch_text(TraceEvent *out, size_t n)
 {
-    unsigned char flags;
-    if (std::fread(&flags, 1, 1, file_) != 1)
-        return false;
-    uint64_t addr;
-    if (!get_u64(file_, addr))
-        fatal("trace file '%s': truncated record", path_.c_str());
-    ev.addr = addr;
-    ev.write = flags & 1;
-    return true;
-}
-
-bool
-FileTrace::next_text(TraceEvent &ev)
-{
-    char line[256];
-    while (std::fgets(line, sizeof(line), file_)) {
+    size_t got = 0;
+    while (got < n) {
+        char *base = buf_.data();
+        char *nl = static_cast<char *>(
+            std::memchr(base + bpos_, '\n', blen_ - bpos_));
+        if (!nl) {
+            if (!eof_) {
+                // A line longer than the buffer cannot appear in a
+                // sane trace, but grow rather than misparse it as
+                // two lines (the old fgets reader did the latter).
+                if (bpos_ == 0 && blen_ == buf_.size() - 1)
+                    buf_.resize(buf_.size() * 2);
+                refill();
+                continue;
+            }
+            if (bpos_ == blen_)
+                break; // clean end of trace
+            // Final line without a trailing newline: terminate it in
+            // the spare byte.
+            base[blen_] = '\0';
+            nl = base + blen_;
+        } else {
+            *nl = '\0';
+        }
+        const char *line = base + bpos_;
+        bpos_ = static_cast<size_t>(nl - base);
+        if (bpos_ < blen_)
+            ++bpos_; // consume the newline itself
+        // Skip blank lines and comments.
+        while (*line == ' ' || *line == '\t' || *line == '\r')
+            ++line;
+        if (*line == '\0' || *line == '#')
+            continue;
         char kind = 0;
         uint64_t addr = 0;
-        if (line[0] == '#' || line[0] == '\n' || line[0] == '\0')
-            continue;
         if (std::sscanf(line, " %c %" SCNx64, &kind, &addr) != 2)
-            fatal("trace file '%s': bad line '%s'", path_.c_str(), line);
+            fatal("trace file '%s': bad line '%s'", path_.c_str(),
+                  line);
         if (kind != 'R' && kind != 'W' && kind != 'r' && kind != 'w')
-            fatal("trace file '%s': bad access kind '%c'", path_.c_str(),
-                  kind);
-        ev.addr = addr;
-        ev.write = kind == 'W' || kind == 'w';
-        return true;
+            fatal("trace file '%s': bad access kind '%c'",
+                  path_.c_str(), kind);
+        out[got].addr = addr;
+        out[got].write = kind == 'W' || kind == 'w';
+        ++got;
     }
-    return false;
+    return got;
 }
 
 void
 FileTrace::reset()
 {
     std::fseek(file_, data_start_, SEEK_SET);
+    bpos_ = 0;
+    blen_ = 0;
+    eof_ = false;
 }
 
 } // namespace sgms

@@ -2,8 +2,12 @@
  * @file
  * Trace file I/O.
  *
- * Two formats:
- *  - binary ("SGMT"): compact 9-byte records, for large traces;
+ * Three formats:
+ *  - binary "SGMB" (trace/binfmt.h): versioned fixed-width records,
+ *    mmap-replayed — the format for large and real traces; read it
+ *    through open_trace() below;
+ *  - binary "SGMT": the legacy compact 9-byte-record stream format,
+ *    still read and written for compatibility;
  *  - text: one "R <hex-addr>" or "W <hex-addr>" per line, '#'
  *    comments allowed, for hand-written traces and interop.
  */
@@ -12,22 +16,35 @@
 #define SGMS_TRACE_TRACE_FILE_H
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/trace.h"
 
 namespace sgms
 {
 
-/** Write @p trace to @p path in binary SGMT format. */
+/** Write @p trace to @p path in legacy binary SGMT format. */
 void write_trace_binary(TraceSource &trace, const std::string &path);
 
 /** Write @p trace to @p path as text. */
 void write_trace_text(TraceSource &trace, const std::string &path);
 
 /**
- * Streaming reader for both formats (sniffs the magic). Fails fatally
- * on unreadable or corrupt files.
+ * Open any trace file by sniffing its magic: SGMB files get a
+ * zero-copy mmap replay cursor (trace/mmap_trace.h), everything else
+ * a streaming FileTrace. Fails fatally on unreadable or corrupt
+ * files.
+ */
+std::unique_ptr<TraceSource> open_trace(const std::string &path);
+
+/**
+ * Streaming reader for the legacy SGMT and text formats (sniffs the
+ * magic). Reads the file in 64 KiB blocks, so next_batch parses
+ * records straight out of the read buffer instead of paying two
+ * stdio calls per reference. Fails fatally on unreadable or corrupt
+ * files; SGMB files are rejected with a pointer to open_trace().
  */
 class FileTrace : public TraceSource
 {
@@ -44,14 +61,23 @@ class FileTrace : public TraceSource
     uint64_t size_hint() const override { return count_; }
 
   private:
-    bool next_binary(TraceEvent &ev);
-    bool next_text(TraceEvent &ev);
+    size_t batch_binary(TraceEvent *out, size_t n);
+    size_t batch_text(TraceEvent *out, size_t n);
+    /** Compact the buffer and read more; sets eof_ at end of file. */
+    void refill();
 
     std::string path_;
     std::FILE *file_ = nullptr;
     bool binary_ = false;
     uint64_t count_ = 0;    // declared count (binary) or 0
     long data_start_ = 0;   // offset of first record
+
+    // Block-read buffer. One spare byte is always kept free so the
+    // text parser can NUL-terminate a final unterminated line.
+    std::vector<char> buf_;
+    size_t bpos_ = 0; // next unconsumed byte
+    size_t blen_ = 0; // valid bytes in buf_
+    bool eof_ = false;
 };
 
 } // namespace sgms

@@ -1,12 +1,21 @@
 #include "trace/trace_store.h"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <tuple>
+
+#include <unistd.h>
 
 #include "common/logging.h"
 #include "trace/apps.h"
+#include "trace/binfmt.h"
+#include "trace/mmap_trace.h"
 
 namespace sgms
 {
@@ -14,16 +23,26 @@ namespace sgms
 namespace
 {
 
+using TraceKey = std::tuple<std::string, double, uint64_t>;
+
 struct Store
 {
     std::mutex mutex;
-    std::map<std::tuple<std::string, double, uint64_t>,
-             std::shared_ptr<const PackedTrace>>
-        traces;
+    std::map<TraceKey, std::shared_ptr<const PackedTrace>> traces;
+    std::map<TraceKey, std::shared_ptr<const MappedTraceFile>> mapped;
     uint64_t bytes = 0;
+    uint64_t mapped_bytes = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t fallbacks = 0;
+    uint64_t baked_files = 0;
+    uint64_t mapped_files = 0;
+
+    // Env-initialized, test-overridable configuration. Guarded by
+    // the same mutex as the maps.
+    std::optional<bool> enabled_override;
+    std::optional<std::string> dir_override;
+    std::optional<uint64_t> budget_override;
 };
 
 Store &
@@ -34,33 +53,54 @@ store()
 }
 
 bool
-store_enabled()
+env_enabled()
 {
-    static const bool enabled = [] {
-        const char *env = std::getenv("SGMS_TRACE_STORE");
-        if (!env || !*env)
-            return true;
-        return !(env[0] == '0' && env[1] == '\0');
-    }();
-    return enabled;
+    const char *env = std::getenv("SGMS_TRACE_STORE");
+    if (!env || !*env)
+        return true;
+    return !(env[0] == '0' && env[1] == '\0');
+}
+
+std::string
+env_dir()
+{
+    const char *env = std::getenv("SGMS_TRACE_DIR");
+    return env ? env : "";
 }
 
 uint64_t
-store_budget_bytes()
+env_budget_bytes()
 {
-    static const uint64_t budget = [] {
-        const char *env = std::getenv("SGMS_TRACE_STORE_MAX_MB");
-        uint64_t mb = 256;
-        if (env && *env) {
-            char *end = nullptr;
-            unsigned long long v = std::strtoull(env, &end, 10);
-            if (end == env)
-                fatal("bad SGMS_TRACE_STORE_MAX_MB value '%s'", env);
-            mb = v;
-        }
-        return mb * 1024 * 1024;
-    }();
-    return budget;
+    const char *env = std::getenv("SGMS_TRACE_STORE_MAX_MB");
+    uint64_t mb = 256;
+    if (env && *env) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(env, &end, 10);
+        if (end == env)
+            fatal("bad SGMS_TRACE_STORE_MAX_MB value '%s'", env);
+        mb = v;
+    }
+    return mb * 1024 * 1024;
+}
+
+// The callers below hold s.mutex.
+
+bool
+store_enabled(Store &s)
+{
+    return s.enabled_override ? *s.enabled_override : env_enabled();
+}
+
+std::string
+store_dir(Store &s)
+{
+    return s.dir_override ? *s.dir_override : env_dir();
+}
+
+uint64_t
+store_budget_bytes(Store &s)
+{
+    return s.budget_override ? *s.budget_override : env_budget_bytes();
 }
 
 std::shared_ptr<const PackedTrace>
@@ -83,31 +123,157 @@ materialize(const std::string &app, double scale, uint64_t seed)
     return packed;
 }
 
+/**
+ * An existing baked file is reusable only if its provenance matches
+ * the request exactly; anything else (a stale copy under a colliding
+ * name, a truncation) is re-baked over.
+ */
+bool
+bake_matches(const BinTraceHeader &hdr, const std::string &app,
+             double scale, uint64_t seed)
+{
+    // The header stores at most 15 name bytes.
+    std::string app15 = app.substr(0, 15);
+    return hdr.app == app15 && hdr.scale == scale && hdr.seed == seed;
+}
+
+/** Bake (app, scale, seed) to @p path via tmp+rename; fatal on I/O. */
+void
+bake_to(const std::string &app, double scale, uint64_t seed,
+        const std::string &dir, const std::string &path)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create trace directory '%s': %s", dir.c_str(),
+              ec.message().c_str());
+    static std::atomic<uint64_t> counter{0};
+    std::string tmp = dir + "/.tmp." + std::to_string(::getpid()) +
+                      "." + std::to_string(counter++) + ".sgmb";
+    auto gen = make_app_trace(app, scale, seed);
+    write_bin_trace(*gen, tmp, app, scale, seed);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        fatal("cannot rename baked trace into '%s'", path.c_str());
+    }
+}
+
+/**
+ * Serve (app, scale, seed) from the mapped tier: open a valid
+ * existing bake or write one, map it, and account for it. Returns
+ * nullptr (and warns) if the directory is unusable, in which case
+ * the caller falls through to the heap tier.
+ */
+std::shared_ptr<const MappedTraceFile>
+map_baked(Store &s, const std::string &app, double scale, uint64_t seed,
+          const std::string &dir)
+{
+    std::string path = baked_trace_path(dir, app, scale, seed);
+
+    BinTraceHeader hdr;
+    std::string error;
+    bool have = read_bin_header(path, hdr, error) &&
+                bake_matches(hdr, app, scale, seed);
+    if (!have) {
+        bake_to(app, scale, seed, dir, path);
+        ++s.baked_files;
+    }
+    auto file = MappedTraceFile::try_open(path, error);
+    if (!file) {
+        warn("baked trace '%s' unusable (%s); falling back to the "
+             "heap store",
+             path.c_str(), error.c_str());
+        return nullptr;
+    }
+    ++s.mapped_files;
+    s.mapped_bytes += file->mapped_bytes();
+    return file;
+}
+
 } // namespace
+
+std::string
+baked_trace_path(const std::string &dir, const std::string &app,
+                 double scale, uint64_t seed)
+{
+    // Content-style naming (exec::ResultCache discipline): the hash
+    // covers everything that determines the bytes, so a format bump
+    // or a different scale/seed is a different file, never a stale
+    // read.
+    char meta[128];
+    std::snprintf(meta, sizeof(meta), "sgmb|v%u|%.17g|%llu|",
+                  kBinTraceVersion, scale,
+                  static_cast<unsigned long long>(seed));
+    uint64_t h = fnv1a_bytes(meta, std::strlen(meta));
+    h = fnv1a_bytes(app.data(), app.size(), h);
+    char name[160];
+    std::snprintf(name, sizeof(name), "%s-%016llx.sgmb", app.c_str(),
+                  static_cast<unsigned long long>(h));
+    return dir + "/" + name;
+}
+
+std::string
+bake_app_trace(const std::string &app, double scale, uint64_t seed,
+               const std::string &dir)
+{
+    std::string path = baked_trace_path(dir, app, scale, seed);
+    BinTraceHeader hdr;
+    std::string error;
+    if (read_bin_header(path, hdr, error) &&
+        bake_matches(hdr, app, scale, seed))
+        return path;
+    bake_to(app, scale, seed, dir, path);
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    ++s.baked_files;
+    return path;
+}
 
 std::unique_ptr<TraceSource>
 make_stored_app_trace(const std::string &app, double scale,
                       uint64_t seed)
 {
-    if (!store_enabled())
-        return make_app_trace(app, scale, seed);
-
     Store &s = store();
-    std::lock_guard<std::mutex> lock(s.mutex);
+    std::unique_lock<std::mutex> lock(s.mutex);
+    if (!store_enabled(s)) {
+        lock.unlock();
+        return make_app_trace(app, scale, seed);
+    }
     auto key = std::make_tuple(app, scale, seed);
+    auto mit = s.mapped.find(key);
+    if (mit != s.mapped.end()) {
+        ++s.hits;
+        return std::make_unique<MmapReplayTrace>(mit->second);
+    }
     auto it = s.traces.find(key);
     if (it != s.traces.end()) {
         ++s.hits;
         return std::make_unique<ReplayTrace>(it->second);
     }
 
-    // Size is known exactly up front (synthetic traces declare their
-    // reference count), so the budget check precedes the expensive
-    // generation pass.
+    // Mapped tier first: a bake costs one generation pass ever
+    // (across processes), the mapping is shared physically with
+    // workers, and mapped bytes are file-backed so the heap budget
+    // does not apply.
+    std::string dir = store_dir(s);
+    if (!dir.empty()) {
+        auto file = map_baked(s, app, scale, seed, dir);
+        if (file) {
+            ++s.misses;
+            s.mapped[key] = file;
+            return std::make_unique<MmapReplayTrace>(std::move(file));
+        }
+    }
+
+    // Heap tier. Size is known exactly up front (synthetic traces
+    // declare their reference count), so the budget check precedes
+    // the expensive generation pass. Only resident heap
+    // materializations count against the budget.
     uint64_t need =
         make_app_spec(app, scale).total_refs() * sizeof(uint64_t);
-    if (s.bytes + need > store_budget_bytes()) {
+    if (s.bytes + need > store_budget_bytes(s)) {
         ++s.fallbacks;
+        lock.unlock();
         return make_app_trace(app, scale, seed);
     }
 
@@ -131,6 +297,9 @@ trace_store_stats()
     stats.misses = s.misses;
     stats.fallbacks = s.fallbacks;
     stats.bytes = s.bytes;
+    stats.mapped_bytes = s.mapped_bytes;
+    stats.baked_files = s.baked_files;
+    stats.mapped_files = s.mapped_files;
     return stats;
 }
 
@@ -140,7 +309,41 @@ trace_store_clear()
     Store &s = store();
     std::lock_guard<std::mutex> lock(s.mutex);
     s.traces.clear();
+    s.mapped.clear();
     s.bytes = 0;
+    s.mapped_bytes = 0;
+}
+
+void
+trace_store_set_enabled(bool enabled)
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.enabled_override = enabled;
+}
+
+void
+trace_store_set_dir(const std::string &dir)
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.dir_override = dir;
+}
+
+void
+trace_store_set_budget_bytes(uint64_t bytes)
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.budget_override = bytes;
+}
+
+std::string
+trace_store_dir()
+{
+    Store &s = store();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return store_dir(s);
 }
 
 } // namespace sgms
