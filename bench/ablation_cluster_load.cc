@@ -1,15 +1,50 @@
 /**
  * @file
  * Ablation beyond the paper: how the subpage win holds up when the
- * GMS servers are not idle. Foreign getpage traffic (other active
- * cluster nodes) is injected at the servers at increasing
- * utilization, and we track the fullpage-vs-eager comparison plus
- * the adaptive pipelining extension.
+ * GMS servers are not idle. Two ways of making them busy are put side
+ * by side:
+ *
+ *   analytic   the cluster_load knob injects synthetic foreign
+ *              getpage traffic at a target server utilization — the
+ *              original single-client approximation
+ *   emergent   the multi-client kernel (sim/multi_client.h) runs N
+ *              real faulting clients against the shared servers, so
+ *              the load is the clients' own fault traffic
+ *
+ * For each client count the emergent run's measured server
+ *  utilization is fed back into the analytic knob, and the two mean
+ * demand-subpage waits are compared. The divergence column is the
+ * headline: it quantifies how much the open-loop approximation
+ * misses — queueing correlation (clients fault in bursts, synthetic
+ * load is smooth) makes the emergent waits longer at equal mean
+ * utilization.
  */
 
 #include "bench/bench_common.h"
 
 using namespace sgms;
+
+namespace
+{
+
+double
+gauge_of(const SimResult &r, const std::string &name)
+{
+    for (const auto &m : r.metrics)
+        if (m.name == name)
+            return m.value;
+    return 0.0;
+}
+
+double
+mean_sp_wait_ms(const SimResult &r)
+{
+    return r.page_faults ? ticks::to_ms(r.sp_latency) /
+                               static_cast<double>(r.page_faults)
+                         : 0.0;
+}
+
+} // namespace
 
 int
 main()
@@ -53,6 +88,49 @@ main()
     std::printf("\nexpected: both configurations slow down as servers "
                 "busy up, but the\nsubpage advantage persists (demand "
                 "priority shields the small demand\ntransfers).\n");
+
+    bench::section("analytic knob vs emergent multi-client contention");
+    const std::vector<uint32_t> nclients = {1, 4, 8, 16};
+    Table t3({"clients", "measured util", "emergent sp wait (ms)",
+              "analytic sp wait (ms)", "divergence"});
+    for (uint32_t n : nclients) {
+        Experiment em;
+        em.app = "modula3";
+        em.scale = scale;
+        em.mem = MemConfig::Half;
+        em.policy = "eager";
+        em.subpage_size = 1024;
+        em.clients = n;
+        SimResult emr = em.run();
+        double util =
+            std::max({gauge_of(emr, "gms.server_cpu_util_max"),
+                      gauge_of(emr, "gms.server_dma_util_max"),
+                      gauge_of(emr, "gms.server_wire_util_max")});
+
+        // Closed loop: hand the emergent utilization to the analytic
+        // knob and ask the single-client model for the same point.
+        Experiment an;
+        an.app = "modula3";
+        an.scale = scale;
+        an.mem = MemConfig::Half;
+        an.policy = "eager";
+        an.subpage_size = 1024;
+        an.base.cluster_load.server_utilization = util;
+        SimResult anr = an.run();
+
+        double esp = mean_sp_wait_ms(emr);
+        double asp = mean_sp_wait_ms(anr);
+        double div = asp > 0 ? esp / asp - 1.0 : 0.0;
+        t3.add_row({Table::fmt_int(n), Table::fmt_pct(util),
+                    Table::fmt(esp, 3), Table::fmt(asp, 3),
+                    Table::fmt_pct(div)});
+    }
+    t3.print(std::cout);
+    std::printf("\ndivergence = emergent / analytic - 1 at equal mean "
+                "server utilization.\nPositive divergence means real "
+                "interleaved clients queue worse than the\nsmooth "
+                "synthetic load predicts (bursty arrivals); the knob "
+                "remains a\ncheap lower bound, not a substitute.\n");
 
     bench::section("adaptive pipelining (future-work extension)");
     const std::vector<const char *> policies = {

@@ -14,6 +14,8 @@
  *            (all five apps x fullpage/eager/pipelining at 1 KiB
  *            subpages, half memory), cold (first materialization
  *            included) and warm (steady state)
+ *   mc       the multi-client kernel (sim/multi_client.h): dispatch
+ *            rate of one gdb point at 16 interleaved clients
  *
  * The warm mix refs/sec is the headline number; the JSON summary
  * (default results/BENCH_sim_hotpath.json) records it next to the
@@ -160,6 +162,39 @@ run_mix(double scale)
     return m;
 }
 
+struct McRate
+{
+    double events_per_sec = 0.0;
+    uint64_t events = 0;
+    double secs = 0.0;
+};
+
+/**
+ * Multi-client kernel dispatch rate: one gdb point at @p n clients
+ * through the interleaved-timeline kernel (sim/multi_client.h).
+ */
+McRate
+run_multi_client(double scale, uint32_t n)
+{
+    Experiment ex;
+    ex.app = "gdb";
+    ex.scale = scale;
+    ex.policy = "eager";
+    ex.subpage_size = 1024;
+    ex.mem = MemConfig::Half;
+    ex.clients = n;
+    auto t0 = std::chrono::steady_clock::now();
+    SimResult r = ex.run();
+    McRate m;
+    m.secs = seconds_since(t0);
+    for (const auto &g : r.metrics)
+        if (g.name == "sim.kernel_events")
+            m.events = static_cast<uint64_t>(g.value);
+    m.events_per_sec =
+        m.secs > 0 ? static_cast<double>(m.events) / m.secs : 0.0;
+    return m;
+}
+
 } // namespace
 
 int
@@ -218,6 +253,12 @@ main(int argc, char **argv)
                 "%.2fx\n",
                 BASELINE_MIX_REFS_PER_SEC, speedup);
 
+    bench::section("multi-client kernel (gdb, 16 clients)");
+    McRate mc = run_multi_client(scale, 16);
+    std::printf("%.0f events/s (%llu kernel events, %.2f s)\n",
+                mc.events_per_sec,
+                static_cast<unsigned long long>(mc.events), mc.secs);
+
     TraceStoreStats ts = trace_store_stats();
     std::printf("trace store: %llu hits, %llu misses, %llu "
                 "fallbacks, %.1f MiB heap, %.1f MiB mapped\n",
@@ -241,6 +282,8 @@ main(int argc, char **argv)
             "\"speedup_vs_baseline\":%.3f,"
             "\"events_per_sec\":%.0f,"
             "\"event_heap_fallbacks\":%llu,"
+            "\"mc_events_per_sec\":%.0f,"
+            "\"mc_kernel_events\":%llu,"
             "\"lru_touches_per_sec\":%.0f,"
             "\"trace_generate_refs_per_sec\":%.0f,"
             "\"trace_replay_refs_per_sec\":%.0f,"
@@ -251,7 +294,9 @@ main(int argc, char **argv)
             cold.refs_per_sec,
             static_cast<unsigned long long>(warm.refs), speedup,
             events_ps, static_cast<unsigned long long>(fallbacks),
-            lru_ps, gen_ps, replay_ps,
+            mc.events_per_sec,
+            static_cast<unsigned long long>(mc.events), lru_ps,
+            gen_ps, replay_ps,
             static_cast<unsigned long long>(ts.hits),
             static_cast<unsigned long long>(ts.misses),
             static_cast<unsigned long long>(ts.fallbacks),

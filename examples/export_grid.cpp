@@ -6,6 +6,7 @@
  * Usage:
  *   export_grid [--apps=a,b,..] [--policies=p,q,..]
  *               [--subpages=1024,2048] [--mems=half,quarter]
+ *               [--clients=1,16,..] [--metrics-per-client]
  *               [--scale=S] [--json=FILE] [--csv=FILE]
  *               [--jobs=N] [--workers=N] [--point-timeout=MS]
  *               [--cache-dir=DIR] [--no-cache] [--cache-max-mb=N]
@@ -74,7 +75,9 @@ main(int argc, char **argv)
     Options opts(argc, argv);
     if (opts.has("help")) {
         std::printf("usage: export_grid [--apps=..] [--policies=..] "
-                    "[--subpages=..] [--mems=..]\n  [--scale=S] "
+                    "[--subpages=..] [--mems=..]\n"
+                    "  [--clients=1,16,..] [--metrics-per-client]"
+                    "\n  [--scale=S] "
                     "[--json=FILE] [--csv=FILE] [--jobs=N] "
                     "[--workers=N] [--point-timeout=MS]\n"
                     "  [--cache-dir=DIR] [--no-cache] "
@@ -101,6 +104,12 @@ main(int argc, char **argv)
                             : m == "quarter" ? MemConfig::Quarter
                                              : MemConfig::Half);
     }
+    spec.clients.clear();
+    for (const auto &c : split_csv(opts.get("clients", "1")))
+        spec.clients.push_back(
+            static_cast<uint32_t>(std::stoul(c)));
+    if (opts.has("metrics-per-client"))
+        spec.base.metrics_per_client = true;
     spec.scale = opts.get_double("scale", scale_from_env(1.0));
     if (opts.has("trace-dir"))
         trace_store_set_dir(opts.get("trace-dir"));

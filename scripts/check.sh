@@ -17,7 +17,12 @@
 #                             against the committed
 #                             results/BENCH_sim_hotpath.json
 #                             (>25% warm-mix regression fails;
-#                             SGMS_PERF_SMOKE=0 skips), and the
+#                             SGMS_PERF_SMOKE=0 skips), the
+#                             cluster_scale bench with a multi-client
+#                             perf smoke against the committed
+#                             results/BENCH_cluster.json (>25%
+#                             events/sec regression fails; same skip
+#                             knob), and the
 #                             trace_io bench (binary trace pipeline;
 #                             fails when mmap startup-to-first-ref
 #                             is not at least 5x faster than heap)
@@ -140,6 +145,35 @@ assert ratio >= 0.75, (
     f"25% below the committed {ref:.0f} (set SGMS_PERF_SMOKE=0 to "
     f"skip on incomparable hardware)")
 print("   perf smoke passed")
+EOF
+    fi
+
+    echo "== bench: multi-client cluster scaling + perf smoke =="
+    # Sweep the multi-client kernel (capped at 256 clients here; the
+    # committed curve goes to 1024) and compare its kernel dispatch
+    # rate (mc_events_per_sec, measured at the largest N <= 256)
+    # against the committed results/BENCH_cluster.json; a drop of
+    # more than 25% fails. SGMS_PERF_SMOKE=0 skips the comparison.
+    ./build/bench/cluster_scale --max-clients=256 \
+        --out=results/BENCH_cluster_current.json
+    if [[ "${SGMS_PERF_SMOKE:-1}" != "0" ]]; then
+        python3 - <<'EOF'
+import json
+committed = json.load(open("results/BENCH_cluster.json"))
+current = json.load(open("results/BENCH_cluster_current.json"))
+ref = committed["mc_events_per_sec"]
+got = current["mc_events_per_sec"]
+ratio = got / ref
+print(f"   multi-client kernel: {got:.0f} events/s vs committed "
+      f"{ref:.0f} ({ratio:.2f}x)")
+assert ratio >= 0.75, (
+    f"multi-client regression: {got:.0f} events/s is more than 25% "
+    f"below the committed {ref:.0f} (set SGMS_PERF_SMOKE=0 to skip "
+    f"on incomparable hardware)")
+assert current["heap_fallbacks"] == 0, (
+    f"{current['heap_fallbacks']} inline-callback heap fallbacks in "
+    f"the sweep; fault-path closures must stay inline")
+print("   cluster perf smoke passed")
 EOF
     fi
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "sim/multi_client.h"
 #include "trace/mmap_trace.h"
 #include "trace/trace_store.h"
 
@@ -111,6 +112,8 @@ Experiment::config() const
                       : file_footprint_pages(trace_bin, cfg.page_size);
     cfg.mem_pages = mem_pages_for(mem, fp);
     cfg.footprint_pages_hint = fp;
+    if (clients > 1)
+        cfg.clients = clients;
     return cfg;
 }
 
@@ -122,12 +125,51 @@ Experiment::trace() const
     return make_stored_app_trace(app, scale, seed);
 }
 
+std::vector<std::unique_ptr<TraceSource>>
+Experiment::client_traces(uint32_t n) const
+{
+    std::vector<std::unique_ptr<TraceSource>> out;
+    out.reserve(n);
+    out.push_back(trace());
+    if (n <= 1)
+        return out;
+    uint64_t len = out[0]->size_hint();
+    for (uint32_t c = 1; c < n; ++c) {
+        // len*c/n in 64 bits is safe: traces are far below 2^54
+        // events, so the product cannot overflow for any sane n.
+        uint64_t offset = len ? len * c / n : 0;
+        out.push_back(
+            std::make_unique<RotatedTrace>(trace(), offset));
+    }
+    return out;
+}
+
+namespace
+{
+
+SimResult
+run_with_config(const Experiment &ex, const SimConfig &cfg)
+{
+    if (cfg.clients > 1) {
+        auto traces = ex.client_traces(cfg.clients);
+        std::vector<TraceSource *> ptrs;
+        ptrs.reserve(traces.size());
+        for (auto &t : traces)
+            ptrs.push_back(t.get());
+        MultiClientSimulator sim(cfg);
+        return sim.run(ptrs);
+    }
+    auto trace_src = ex.trace();
+    Simulator sim(cfg);
+    return sim.run(*trace_src);
+}
+
+} // namespace
+
 SimResult
 Experiment::run() const
 {
-    auto trace_src = trace();
-    Simulator sim(config());
-    SimResult res = sim.run(*trace_src);
+    SimResult res = run_with_config(*this, config());
     res.app = app;
     return res;
 }
@@ -135,11 +177,9 @@ Experiment::run() const
 SimResult
 Experiment::run(const obs::ObsSession &obs) const
 {
-    auto trace_src = trace();
     SimConfig cfg = config();
     obs.configure(cfg);
-    Simulator sim(cfg);
-    SimResult res = sim.run(*trace_src);
+    SimResult res = run_with_config(*this, cfg);
     res.app = app;
     obs.finish(res);
     return res;

@@ -12,6 +12,7 @@
 #define SGMS_CORE_EXPERIMENT_H
 
 #include <string>
+#include <vector>
 
 #include "core/sim_config.h"
 #include "core/sim_result.h"
@@ -75,6 +76,16 @@ struct Experiment
     MemConfig mem = MemConfig::Half;
 
     /**
+     * Concurrent faulting clients sharing the simulated cluster
+     * (base.clients mirrored up for sweeps). 1 runs the classic
+     * single-client simulator; >1 runs the multi-client kernel, each
+     * client replaying the same trace rotated to a different starting
+     * offset (client c starts at event len*c/N) so the working sets
+     * collide without being lock-step identical.
+     */
+    uint32_t clients = 1;
+
+    /**
      * Base configuration; policy/subpage/mem fields are filled in by
      * run(). Lets callers override network parameters, protection
      * mode, replacement policy, etc.
@@ -92,6 +103,13 @@ struct Experiment
      * trace_bin is set, the shared trace store otherwise.
      */
     std::unique_ptr<TraceSource> trace() const;
+
+    /**
+     * Per-client trace cursors for the multi-client kernel: client c
+     * gets the experiment trace rotated to offset len*c/N. At n=1
+     * this is the unrotated trace() in a one-element vector.
+     */
+    std::vector<std::unique_ptr<TraceSource>> client_traces(uint32_t n) const;
 
     /** Run it. */
     SimResult run() const;

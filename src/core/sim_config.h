@@ -102,6 +102,25 @@ struct SimConfig
     bool record_faults = true;
 
     /**
+     * Number of concurrent faulting client nodes sharing the cluster.
+     * 1 (the default, the paper's setup) runs the single-client
+     * simulator; >1 runs the multi-client kernel (sim/multi_client.h)
+     * which interleaves one trace cursor per client in a single
+     * simulated timeline, faulting against shared network stage
+     * resources and GMS servers so contention is emergent. Clients
+     * occupy nodes 0..clients-1 and servers start at node clients.
+     */
+    uint32_t clients = 1;
+
+    /**
+     * With clients > 1, additionally publish per-client gauge
+     * breakdowns (`client.<id>.*`) next to the aggregated metrics.
+     * Off by default so a 10k-client run does not explode the
+     * registry or the JSON report.
+     */
+    bool metrics_per_client = false;
+
+    /**
      * Expected trace footprint in pages; 0 = unknown. Purely a
      * pre-sizing hint for the page table and replacement policy —
      * never affects results, and excluded from the result-cache

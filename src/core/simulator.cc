@@ -28,6 +28,9 @@ Simulator::Simulator(SimConfig cfg) : cfg_(std::move(cfg))
         fatal("simulator: mem_pages must be 0 (unlimited) or >= 2");
     if (cfg_.subpage_size > cfg_.page_size)
         fatal("simulator: subpage larger than page");
+    if (cfg_.clients > 1)
+        fatal("simulator: clients > 1 requires MultiClientSimulator "
+              "(sim/multi_client.h)");
 }
 
 Simulator::Run::Run(const SimConfig &cfg)
@@ -220,11 +223,16 @@ Simulator::issue_transfers(Run &r, PageId page, uint64_t fault_id,
     Tick t0 = r.now + cfg_.net.fault_handle;
     // Copy the plan into the request-completion closure: the server
     // sends the demand segment and everything behind it back-to-back.
-    r.eq.schedule(t0, [this, &r, page, fault_id, srv, plan, t0] {
+    // Init-captures, not [plan]: copy-capturing a const reference
+    // gives the closure a const member whose "move" is a throwing
+    // vector copy, which forces InlineFunction's heap fallback on
+    // every fault.
+    r.eq.schedule(t0, [this, &r, page, fault_id, srv, plan = plan,
+                       t0] {
         r.net.send(t0,
                {0, srv, cfg_.net.request_bytes, MsgKind::Request, false,
                 [this, &r, page, fault_id, srv,
-                 plan](Tick when, Tick) {
+                 plan = plan](Tick when, Tick) {
                     for (const auto &seg : plan.segments) {
                         Tick blocked_at_issue = r.blocked_at(when);
                         r.net.send(
@@ -342,7 +350,7 @@ Simulator::start_attempt(Run &r, std::shared_ptr<PendingFetch> st,
             when,
             {0, st->srv, cfg_.net.request_bytes, MsgKind::Request,
              false,
-             [this, &r, st, plan](Tick at, Tick) {
+             [this, &r, st, plan = plan](Tick at, Tick) {
                  if (st->done)
                      return;
                  for (const auto &seg : plan.segments) {

@@ -1,5 +1,7 @@
 #include "core/sweep.h"
 
+#include <algorithm>
+
 #include "exec/parallel_runner.h"
 
 namespace sgms
@@ -25,7 +27,7 @@ SweepSpec::point_count() const
             has_subpage_dimension(policy) ? subpage_sizes.size() : 1;
         n += apps.size() * mems.size() * per_mem;
     }
-    return n;
+    return n * std::max<size_t>(1, clients.size());
 }
 
 std::vector<SimResult>

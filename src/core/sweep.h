@@ -36,6 +36,13 @@ struct SweepSpec
     /** Used only for policies that take a subpage size. */
     std::vector<uint32_t> subpage_sizes = {1024};
     std::vector<MemConfig> mems = {MemConfig::Half};
+    /**
+     * Client-count axis (--clients): each entry runs the point with
+     * that many concurrent faulting clients sharing the cluster
+     * (Experiment::clients). {1} (the default) is the paper's
+     * single-client setup.
+     */
+    std::vector<uint32_t> clients = {1};
     double scale = 1.0;
     uint64_t seed = 1;
     /**

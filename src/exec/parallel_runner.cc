@@ -66,17 +66,23 @@ expand_sweep(const SweepSpec &spec)
                     has_subpage_dimension(policy)
                         ? spec.subpage_sizes
                         : std::vector<uint32_t>{spec.base.page_size};
+                std::vector<uint32_t> nclients =
+                    spec.clients.empty() ? std::vector<uint32_t>{1}
+                                         : spec.clients;
                 for (uint32_t sp : sizes) {
-                    Experiment ex;
-                    ex.app = app;
-                    ex.scale = spec.scale;
-                    ex.seed = spec.seed;
-                    ex.policy = policy;
-                    ex.subpage_size = sp;
-                    ex.mem = mem;
-                    ex.trace_bin = spec.trace_bin;
-                    ex.base = spec.base;
-                    points.push_back(std::move(ex));
+                    for (uint32_t nc : nclients) {
+                        Experiment ex;
+                        ex.app = app;
+                        ex.scale = spec.scale;
+                        ex.seed = spec.seed;
+                        ex.policy = policy;
+                        ex.subpage_size = sp;
+                        ex.mem = mem;
+                        ex.clients = nc;
+                        ex.trace_bin = spec.trace_bin;
+                        ex.base = spec.base;
+                        points.push_back(std::move(ex));
+                    }
                 }
             }
         }

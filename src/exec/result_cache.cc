@@ -266,6 +266,13 @@ experiment_fingerprint(const Experiment &ex)
     fp.add("tlb.assoc", static_cast<uint64_t>(cfg.tlb_assoc));
     fp.add_i("tlb.miss_cost", cfg.tlb_miss_cost);
     fp.add("record_faults", cfg.record_faults);
+    // Multi-client keys are appended only when active so every
+    // single-client fingerprint (and cached result) from before the
+    // multi-client kernel stays valid.
+    if (cfg.clients > 1) {
+        fp.add("clients", static_cast<uint64_t>(cfg.clients));
+        fp.add("metrics_per_client", cfg.metrics_per_client);
+    }
     // cfg.timeline / cfg.tracer are pure observers of the run; the
     // engine refuses to serve cached results to traced runs instead
     // of keying on them.

@@ -7,7 +7,7 @@ namespace sgms
 
 void
 GmsCluster::put_page(Tick now, PageId page, uint32_t page_bytes,
-                     bool dirty)
+                     bool dirty, NodeId from)
 {
     bool newly_stored = evicted_.insert(page).second;
     if (cfg_.server_capacity_pages != 0 && newly_stored) {
@@ -39,7 +39,7 @@ GmsCluster::put_page(Tick now, PageId page, uint32_t page_bytes,
     SGMS_TRACE_INSTANT(tracer_, Gms, "putpage", "gms", now, page,
                        static_cast<int64_t>(page_bytes),
                        static_cast<int64_t>(server_of(page)));
-    net_.send(now, {requester_, server_of(page), page_bytes,
+    net_.send(now, {from, server_of(page), page_bytes,
                     MsgKind::PutPage, false, nullptr});
 }
 

@@ -110,8 +110,30 @@ class GmsCluster
      * server is full, in which case its oldest stored page is
      * discarded (and will have to come back from disk).
      */
+    void
+    put_page(Tick now, PageId page, uint32_t page_bytes, bool dirty)
+    {
+        put_page(now, page, page_bytes, dirty, requester_);
+    }
+
+    /**
+     * Multi-client form: @p from is the evicting client node, so the
+     * putpage traffic occupies that client's CPU/DMA stages rather
+     * than the default requester's.
+     */
     void put_page(Tick now, PageId page, uint32_t page_bytes,
-                  bool dirty);
+                  bool dirty, NodeId from);
+
+    /**
+     * Pre-size the directory for @p pages stored pages; keeps the
+     * eviction path rehash-free during a steady-state window.
+     */
+    void
+    reserve_pages(size_t pages)
+    {
+        if (pages)
+            evicted_.reserve(pages);
+    }
 
     /**
      * Mark @p server failed until @p until (directory invalidation):

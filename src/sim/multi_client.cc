@@ -1,0 +1,1347 @@
+#include "sim/multi_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "common/logging.h"
+#include "core/simulator.h"
+#include "obs/debug.h"
+
+namespace sgms
+{
+
+namespace
+{
+/** Minimum references between replacement-policy touches per page. */
+constexpr uint64_t TOUCH_GRANULARITY = 64;
+
+/** References consumed from a client's trace per next_batch call. */
+constexpr size_t TRACE_BATCH = 1024;
+} // namespace
+
+/**
+ * Where a parked client resumes. A reference is split at its yield
+ * points (steal applied / TLB charged / body), so a client that
+ * yields to pending events re-enters exactly where it left off.
+ */
+enum class MultiClientSimulator::Phase : uint8_t
+{
+    RefSteal, ///< cur_ev loaded; apply pending receive-CPU steal
+    RefTlb,   ///< steal applied; charge the TLB
+    RefBody,  ///< TLB charged; page handling
+    DiskWake, ///< sleeping on a disk access; cont says which kind
+};
+
+/** Which accounting runs when a parked client wakes. */
+enum class MultiClientSimulator::Cont : uint8_t
+{
+    None,
+    NetPageFault,        ///< demand fetch of a freshly-installed page
+    NetSubpageFault,     ///< lazy fetch into a resident page
+    PageWaitInflight,    ///< stalled on an already-in-flight subpage
+    DiskPageFault,       ///< whole-page disk fault (cold / degraded)
+    DiskSubpageDegraded, ///< degraded lazy fetch served by disk
+};
+
+/** One client node: its own paging state plus a parked continuation. */
+struct MultiClientSimulator::Client
+{
+    Client(uint32_t cid, const SimConfig &cfg, const PageGeometry &geo,
+           obs::MetricsRegistry &metrics)
+        : id(cid), pt(geo, cfg.mem_pages, cfg.replacement),
+          policy(make_fetch_policy(cfg.policy, &metrics)), pal(cfg.pal)
+    {
+        pal.bind_metrics(metrics);
+        if (cfg.footprint_pages_hint)
+            pt.reserve(cfg.footprint_pages_hint);
+        if (cfg.tlb_enabled)
+            tlb = std::make_unique<Tlb>(cfg.tlb_entries, cfg.tlb_assoc,
+                                        cfg.page_size);
+    }
+
+    uint32_t id;
+    TraceSource *trace = nullptr;
+
+    // Per-client paging machinery; the policy's counters resolve to
+    // the shared registry entries, so metrics aggregate across
+    // clients by construction.
+    PageTable pt;
+    std::unique_ptr<FetchPolicy> policy;
+    PalEmulator pal;
+    std::unique_ptr<Tlb> tlb;
+
+    // Program clock and blocking bookkeeping (one single-client Run
+    // worth of state each).
+    Tick now = 0;
+    uint64_t ref_index = 0;
+    uint64_t wait_seq = 0;
+    bool blocked = false;
+    Tick wait_start = 0;
+    Tick total_blocked = 0;
+    Tick pending_steal = 0;
+
+    // Batched trace cursor into the run's flat buffer.
+    size_t batch_i = 0;
+    size_t batch_n = 0;
+
+    // Current reference and the same-complete-page fast path as the
+    // single-client simulator.
+    TraceEvent cur_ev{};
+    PageId last_page = ~0ULL;
+    bool last_fast = false;
+    PageTable::Frame *last_frame = nullptr;
+
+    // Parked continuation.
+    Phase phase = Phase::RefSteal;
+    Cont cont = Cont::None;
+    PageId wait_page = 0;
+    SubpageIndex wait_sp = 0;
+    uint64_t wait_fault_id = 0;
+    Tick sleep_lat = 0;
+    int64_t wait_plan_bytes = 0;
+    bool finished = false;
+
+    // Per-client tallies, summed (in client order) into the
+    // aggregate result; integer sums, so N=1 is bit-exact.
+    Tick exec_time = 0;
+    Tick sp_latency = 0;
+    Tick page_wait = 0;
+    Tick recv_overhead = 0;
+    Tick emulation_overhead = 0;
+    Tick tlb_overhead = 0;
+    uint64_t page_faults = 0;
+    uint64_t sub_faults = 0;
+
+    /** Cumulative blocked time as of time @p t. */
+    Tick
+    blocked_at(Tick t) const
+    {
+        return blocked ? total_blocked + (t - wait_start)
+                       : total_blocked;
+    }
+};
+
+/** All mutable state of one multi-client run. */
+struct MultiClientSimulator::Run
+{
+    Run(const SimConfig &cfg, uint32_t nclients)
+        : n(nclients), tracer(cfg.tracer),
+          finj(cfg.faults.enabled()
+                   ? std::make_unique<fault::FaultInjector>(cfg.faults,
+                                                            &metrics)
+                   : nullptr),
+          net(eq, cfg.net, /*requester=*/0, cfg.timeline, cfg.tracer,
+              &metrics, finj.get()),
+          gms(net, cfg.gms, /*requester=*/nclients - 1, cfg.tracer,
+              &metrics),
+          geo(cfg.page_size, cfg.subpage_size),
+          c_page_faults(&metrics.counter("sim.page_faults")),
+          c_subpage_faults(&metrics.counter("sim.lazy_subpage_faults")),
+          c_evictions(&metrics.counter("gms.evictions")),
+          c_disk_faults(&metrics.counter("sim.disk_faults")),
+          d_fault_wait(&metrics.distribution("sim.fault_wait_ns")),
+          step_len(cfg.ns_per_ref),
+          software_pal(cfg.protection == ProtectionMode::SoftwarePal)
+    {
+        if (finj) {
+            // Registered only under fault injection so that
+            // fault-free runs keep a byte-identical snapshot.
+            c_retries = &metrics.counter("gms.retries");
+            c_timeouts = &metrics.counter("gms.timeouts");
+            c_degraded = &metrics.counter("gms.degraded_fetches");
+            c_duplicates =
+                &metrics.counter("gms.duplicate_deliveries");
+            d_retry_delay =
+                &metrics.distribution("gms.retry_delay_ns");
+        }
+        if (cfg.cluster_load.server_utilization > 0.0) {
+            cluster_load = std::make_unique<ClusterLoad>(
+                eq, net, cfg.cluster_load, cfg.gms.servers,
+                nclients - 1);
+        }
+        res.policy = cfg.policy;
+        res.page_size = cfg.page_size;
+        res.subpage_size = cfg.subpage_size;
+        res.mem_pages = cfg.mem_pages;
+
+        clients.reserve(nclients);
+        for (uint32_t i = 0; i < nclients; ++i)
+            clients.emplace_back(i, cfg, geo, metrics);
+        batch_buf.resize(static_cast<size_t>(nclients) * TRACE_BATCH);
+        heap.reserve(nclients + 1);
+    }
+
+    uint32_t n;
+
+    // Same declaration order as the single-client Run: components
+    // register counters with `metrics` during construction.
+    obs::MetricsRegistry metrics;
+    obs::Tracer *tracer;
+    std::unique_ptr<fault::FaultInjector> finj;
+    EventQueue eq;
+    Network net;
+    GmsCluster gms;
+    PageGeometry geo;
+    std::unique_ptr<ClusterLoad> cluster_load;
+
+    obs::Counter *c_page_faults;
+    obs::Counter *c_subpage_faults;
+    obs::Counter *c_evictions;
+    obs::Counter *c_disk_faults;
+    obs::Distribution *d_fault_wait;
+    obs::Counter *c_retries = nullptr;
+    obs::Counter *c_timeouts = nullptr;
+    obs::Counter *c_degraded = nullptr;
+    obs::Counter *c_duplicates = nullptr;
+    obs::Distribution *d_retry_delay = nullptr;
+
+    SimResult res;
+
+    // Dense per-client state plus one flat batch buffer (client i
+    // owns slots [i*TRACE_BATCH, (i+1)*TRACE_BATCH)); nothing here
+    // allocates after construction.
+    std::vector<Client> clients;
+    std::vector<TraceEvent> batch_buf;
+
+    /** Runnable-client min-heap entry, ordered by (at, id). */
+    struct Runnable
+    {
+        Tick at;
+        uint32_t id;
+    };
+    std::vector<Runnable> heap;
+    uint32_t active = 0;
+
+    bool budgeted = false;
+    std::chrono::steady_clock::time_point deadline{};
+
+    const Tick step_len;
+    const bool software_pal;
+
+    /**
+     * Namespace a client-local page id on the shared cluster.
+     * Identity at n == 1, so directory hashing, warm/cold state, and
+     * server placement are bit-exact vs the single-client kernel.
+     */
+    PageId
+    gpage(PageId page, uint32_t client) const
+    {
+        return page * n + client;
+    }
+
+    static bool
+    later(const Runnable &a, const Runnable &b)
+    {
+        return a.at != b.at ? a.at > b.at : a.id > b.id;
+    }
+
+    void
+    push_runnable(const Client &c, Tick at)
+    {
+        heap.push_back({at, c.id});
+        std::push_heap(heap.begin(), heap.end(), later);
+    }
+
+    Runnable
+    pop_runnable()
+    {
+        std::pop_heap(heap.begin(), heap.end(), later);
+        Runnable top = heap.back();
+        heap.pop_back();
+        return top;
+    }
+};
+
+/**
+ * State of one reliable fetch (fault injection enabled); the
+ * multi-client twin of Simulator::PendingFetch with the owning
+ * client's id added.
+ */
+struct MultiClientSimulator::PendingFetch
+{
+    uint32_t client = 0;
+    PageId page = 0;
+    uint64_t fault_id = 0;
+    NodeId srv = 0;
+    uint64_t expected = 0;
+    SubpageIndex demand_sp = 0;
+    uint32_t byte_in_sub = 0;
+    uint32_t attempt = 1;
+    uint64_t generation = 0;
+    bool done = false;
+};
+
+MultiClientSimulator::MultiClientSimulator(SimConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    if (cfg_.mem_pages == 1)
+        fatal("multi-client: mem_pages must be 0 (unlimited) or >= 2");
+    if (cfg_.subpage_size > cfg_.page_size)
+        fatal("multi-client: subpage larger than page");
+    if (cfg_.clients == 0)
+        cfg_.clients = 1;
+}
+
+MultiClientSimulator::~MultiClientSimulator() = default;
+
+uint64_t
+MultiClientSimulator::events_executed() const
+{
+    return run_ ? run_->eq.executed() : last_events_executed_;
+}
+
+uint64_t
+MultiClientSimulator::events_pending() const
+{
+    return run_ ? run_->eq.size() : 0;
+}
+
+uint64_t
+MultiClientSimulator::refs_executed() const
+{
+    if (!run_)
+        return 0;
+    uint64_t refs = 0;
+    for (const Client &c : run_->clients)
+        refs += c.ref_index;
+    return refs;
+}
+
+void
+MultiClientSimulator::begin(const std::vector<TraceSource *> &traces)
+{
+    SGMS_ASSERT(!run_);
+    SGMS_ASSERT(!traces.empty());
+    run_ = std::make_unique<Run>(
+        cfg_, static_cast<uint32_t>(traces.size()));
+    Run &r = *run_;
+    r.budgeted = cfg_.wall_budget_ms > 0;
+    if (r.budgeted) {
+        r.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(cfg_.wall_budget_ms);
+    }
+    for (uint32_t i = 0; i < r.n; ++i) {
+        Client &c = r.clients[i];
+        c.trace = traces[i];
+        c.trace->reset();
+        prime_client(r, c);
+    }
+}
+
+void
+MultiClientSimulator::prime_client(Run &r, Client &c)
+{
+    TraceEvent *buf =
+        r.batch_buf.data() + static_cast<size_t>(c.id) * TRACE_BATCH;
+    size_t got = c.trace->next_batch(buf, TRACE_BATCH);
+    if (got == 0) {
+        c.finished = true;
+        return;
+    }
+    c.batch_n = got;
+    c.cur_ev = buf[0];
+    c.batch_i = 1;
+    c.phase = Phase::RefSteal;
+    r.push_runnable(c, 0);
+    ++r.active;
+}
+
+bool
+MultiClientSimulator::drive(uint64_t rounds)
+{
+    SGMS_ASSERT(run_);
+    Run &r = *run_;
+    while (r.active > 0 && rounds > 0) {
+        --rounds;
+        if (r.heap.empty()) {
+            // Every unfinished client is blocked on a fetch; only an
+            // event can wake one (same invariant wait_until asserts).
+            SGMS_ASSERT(!r.eq.empty());
+            r.eq.run_one();
+            continue;
+        }
+        // Events win ties so a client resuming at t sees every
+        // delivery at <= t applied first — exactly the single-client
+        // drain/run_until(t) semantics.
+        if (r.eq.next_time() <= r.heap.front().at) {
+            r.eq.run_one();
+            continue;
+        }
+        Run::Runnable top = r.pop_runnable();
+        step(r, r.clients[top.id]);
+    }
+    return r.active > 0;
+}
+
+SimResult
+MultiClientSimulator::run(const std::vector<TraceSource *> &traces)
+{
+    begin(traces);
+    while (drive(UINT64_MAX)) {
+    }
+    return finish();
+}
+
+void
+MultiClientSimulator::finish_client(Run &r, Client &c)
+{
+    c.finished = true;
+    SGMS_ASSERT(r.active > 0);
+    --r.active;
+}
+
+/**
+ * Charge one executed reference, then load the next one (finishing
+ * the client at end of trace). Returns true when the caller's step
+ * loop should keep running this client inline; false when the client
+ * parked (or finished) and the caller must return to the scheduler.
+ * Wake paths pass in_step=false: they run inside an event callback,
+ * so the client always re-enters through the scheduler, which first
+ * drains any events due at its resume time.
+ */
+bool
+MultiClientSimulator::advance_after_ref(Run &r, Client &c, bool in_step)
+{
+    c.now += r.step_len;
+    c.exec_time += r.step_len;
+    ++c.ref_index;
+    if (c.batch_i == c.batch_n) {
+        TraceEvent *buf = r.batch_buf.data() +
+                          static_cast<size_t>(c.id) * TRACE_BATCH;
+        size_t got = c.trace->next_batch(buf, TRACE_BATCH);
+        if (got == 0) {
+            // End of this client's trace: like the single-client
+            // kernel, pending events are abandoned, and no event due
+            // at or before c.now runs on its account.
+            finish_client(r, c);
+            return false;
+        }
+        c.batch_n = got;
+        c.batch_i = 0;
+        if (r.budgeted &&
+            std::chrono::steady_clock::now() >= r.deadline)
+            throw SimTimeoutError(cfg_.wall_budget_ms,
+                                  refs_executed());
+    }
+    c.cur_ev = r.batch_buf[static_cast<size_t>(c.id) * TRACE_BATCH +
+                           c.batch_i++];
+    c.phase = Phase::RefSteal;
+    if (!in_step) {
+        r.push_runnable(c, c.now);
+        return false;
+    }
+    if (r.eq.next_time() <= c.now) {
+        r.push_runnable(c, c.now);
+        return false;
+    }
+    return true;
+}
+
+void
+MultiClientSimulator::step(Run &r, Client &c)
+{
+    for (;;) {
+        switch (c.phase) {
+        case Phase::RefSteal:
+            if (c.pending_steal) {
+                c.now += c.pending_steal;
+                c.recv_overhead += c.pending_steal;
+                c.pending_steal = 0;
+                c.phase = Phase::RefTlb;
+                // The steal may have pushed us past more event times.
+                if (r.eq.next_time() <= c.now) {
+                    r.push_runnable(c, c.now);
+                    return;
+                }
+            }
+            c.phase = Phase::RefTlb;
+            [[fallthrough]];
+        case Phase::RefTlb:
+            if (c.tlb && !c.tlb->access(c.cur_ev.addr)) {
+                c.now += cfg_.tlb_miss_cost;
+                c.tlb_overhead += cfg_.tlb_miss_cost;
+                c.phase = Phase::RefBody;
+                // The refill may have pushed us past pending events;
+                // they must run before any fault handling injects
+                // new messages.
+                if (r.eq.next_time() <= c.now) {
+                    r.push_runnable(c, c.now);
+                    return;
+                }
+            }
+            c.phase = Phase::RefBody;
+            [[fallthrough]];
+        case Phase::RefBody: {
+            const TraceEvent ev = c.cur_ev;
+            PageId page = r.geo.page_of(ev.addr);
+            if (page == c.last_page && c.last_fast) {
+                // Fast path: same complete page — only the dirty bit
+                // can change.
+                if (ev.write)
+                    c.last_frame->dirty = true;
+            } else {
+                PageTable::Frame *frame = c.pt.find(page);
+                if (!frame) {
+                    if (yield_for_slow_path(r, c))
+                        return;
+                    page_fault(r, c, page);
+                    return; // parked on the fetch / disk sleep
+                }
+                if (page != c.last_page &&
+                    c.ref_index - frame->last_touch >=
+                        TOUCH_GRANULARITY) {
+                    c.pt.touch(page);
+                    frame->last_touch = c.ref_index;
+                }
+                SubpageIndex sp = r.geo.subpage_of(ev.addr);
+                if (!frame->valid.test(sp)) {
+                    if (yield_for_slow_path(r, c))
+                        return;
+                    if (frame->subpage_inflight(sp)) {
+                        park_fetch_wait(r, c, page, sp,
+                                        frame->fault_id,
+                                        Cont::PageWaitInflight, 0);
+                    } else {
+                        subpage_fault(r, c, *frame, page);
+                    }
+                    return; // parked
+                }
+                if (r.software_pal && !frame->complete) {
+                    Tick cost = c.pal.access_cost(page, ev.write);
+                    c.now += cost;
+                    c.emulation_overhead += cost;
+                }
+                resolve_watch(r, c, *frame, sp);
+                if (ev.write)
+                    frame->dirty = true;
+                c.last_page = page;
+                c.last_fast =
+                    frame->complete && frame->watch_from < 0;
+                c.last_frame = frame;
+            }
+            if (!advance_after_ref(r, c, /*in_step=*/true))
+                return;
+            break;
+        }
+        case Phase::DiskWake:
+            finish_disk_wake(r, c);
+            if (!complete_ref_after_slow(r, c, /*in_step=*/true))
+                return;
+            break;
+        }
+    }
+}
+
+/**
+ * Gate in front of every slow path (anything touching the shared
+ * cluster). A client may run pure fast-path references arbitrarily
+ * far ahead of its peers — they only touch client-local state — but
+ * a fault must be issued in global time order or the stage resources
+ * and event queue would see non-monotone submissions. Yield when any
+ * event is due or any runnable peer precedes (c.now, c.id); the
+ * client re-enters RefBody at the same reference and re-evaluates
+ * (deliveries during the yield may have made it a fast hit). Never
+ * triggers at N=1.
+ */
+bool
+MultiClientSimulator::yield_for_slow_path(Run &r, Client &c)
+{
+    bool need = r.eq.next_time() <= c.now;
+    if (!need && !r.heap.empty()) {
+        const Run::Runnable &top = r.heap.front();
+        need = top.at < c.now || (top.at == c.now && top.id < c.id);
+    }
+    if (!need)
+        return false;
+    c.phase = Phase::RefBody;
+    r.push_runnable(c, c.now);
+    return true;
+}
+
+void
+MultiClientSimulator::park_fetch_wait(Run &r, Client &c, PageId page,
+                                      SubpageIndex sp,
+                                      uint64_t fault_id, Cont cont,
+                                      int64_t demand_bytes)
+{
+    (void)r;
+    c.blocked = true;
+    c.wait_start = c.now;
+    c.wait_page = page;
+    c.wait_sp = sp;
+    c.wait_fault_id = fault_id;
+    c.wait_plan_bytes = demand_bytes;
+    c.cont = cont;
+    // Not pushed on the runnable heap: only a delivery (or degraded
+    // disk completion) can make progress, and it wakes the client
+    // from inside the event via maybe_wake().
+}
+
+void
+MultiClientSimulator::begin_disk_sleep(Run &r, Client &c, Tick lat,
+                                       Cont cont)
+{
+    c.blocked = true;
+    c.wait_start = c.now;
+    c.sleep_lat = lat;
+    c.cont = cont;
+    c.phase = Phase::DiskWake;
+    // Parked *on* the heap: the wake time is known. Events due at or
+    // before the target run first (the run_until(target) semantics).
+    r.push_runnable(c, c.now + lat);
+}
+
+void
+MultiClientSimulator::resolve_watch(Run &r, Client &c,
+                                    PageTable::Frame &frame,
+                                    SubpageIndex touched)
+{
+    if (frame.watch_from < 0)
+        return;
+    if (static_cast<SubpageIndex>(frame.watch_from) == touched)
+        return;
+    int distance = static_cast<int>(touched) - frame.watch_from;
+    if (cfg_.record_faults)
+        r.res.next_subpage_distance.add(distance);
+    c.policy->observe_distance(distance);
+    frame.watch_from = -1;
+}
+
+void
+MultiClientSimulator::post_fault_epilogue(Run &r, Client &c,
+                                          PageTable::Frame &f)
+{
+    // Start watching for the next access to a different subpage
+    // (Figure 7), unless the whole page just arrived at once.
+    SubpageIndex sp = r.geo.subpage_of(c.cur_ev.addr);
+    if (!f.complete)
+        f.watch_from = static_cast<int16_t>(sp);
+    else if (r.geo.subpages_per_page() > 1)
+        f.watch_from = static_cast<int16_t>(sp);
+    if (c.cur_ev.write)
+        f.dirty = true;
+}
+
+void
+MultiClientSimulator::resolve_epilogue(Run &r, Client &c,
+                                       PageTable::Frame &f)
+{
+    resolve_watch(r, c, f, r.geo.subpage_of(c.cur_ev.addr));
+    if (c.cur_ev.write)
+        f.dirty = true;
+}
+
+/** Shared tail of every slow path: refresh last_*, charge the ref. */
+bool
+MultiClientSimulator::complete_ref_after_slow(Run &r, Client &c,
+                                              bool in_step)
+{
+    PageId page = r.geo.page_of(c.cur_ev.addr);
+    PageTable::Frame *f = c.pt.find(page);
+    SGMS_ASSERT(f);
+    c.last_page = page;
+    c.last_fast = f->complete && f->watch_from < 0;
+    c.last_frame = f;
+    return advance_after_ref(r, c, in_step);
+}
+
+void
+MultiClientSimulator::maybe_wake(Run &r, Client &c, Tick at)
+{
+    if (c.cont != Cont::NetPageFault &&
+        c.cont != Cont::NetSubpageFault &&
+        c.cont != Cont::PageWaitInflight)
+        return;
+    PageTable::Frame *f = c.pt.find(c.wait_page);
+    if (!f || !f->valid.test(c.wait_sp))
+        return;
+    wake_from_fetch(r, c, at);
+}
+
+/**
+ * The subpage the client blocks on just landed (we are inside the
+ * delivering event, at its timestamp @p at). Run the whole wake
+ * continuation inline — pure bookkeeping, no sends — then park the
+ * client runnable at its new now; remaining events due at that time
+ * still run before it steps, matching the single-client order of
+ * [waking event][epilogue][other due events][next ref].
+ */
+void
+MultiClientSimulator::wake_from_fetch(Run &r, Client &c, Tick at)
+{
+    if (at > c.now)
+        c.now = at;
+    c.blocked = false;
+    Tick waited = c.now - c.wait_start;
+    c.total_blocked += waited;
+    // Anything that arrived while blocked cannot also steal CPU.
+    c.pending_steal = 0;
+    if (waited > 0) {
+        SGMS_TRACE_SPAN(r.tracer, Block, "blocked", "program",
+                        c.wait_start, c.now, c.wait_seq++,
+                        static_cast<int64_t>(c.ref_index), 0);
+    }
+    PageId page = c.wait_page;
+    PageTable::Frame *f = c.pt.find(page);
+    SGMS_ASSERT(f);
+    switch (c.cont) {
+    case Cont::NetPageFault:
+        c.sp_latency += waited;
+        if (cfg_.record_faults)
+            r.res.faults[c.wait_fault_id].sp_wait = waited;
+        r.d_fault_wait->add(ticks::to_ns(waited));
+        SGMS_TRACE_SPAN(r.tracer, Fault, "demand", "fault",
+                        c.now - waited, c.now,
+                        static_cast<int64_t>(c.wait_fault_id),
+                        static_cast<int64_t>(page),
+                        c.wait_plan_bytes);
+        post_fault_epilogue(r, c, *f);
+        break;
+    case Cont::NetSubpageFault:
+        c.sp_latency += waited;
+        r.d_fault_wait->add(ticks::to_ns(waited));
+        SGMS_TRACE_SPAN(r.tracer, Fault, "demand", "fault",
+                        c.now - waited, c.now,
+                        static_cast<int64_t>(c.wait_fault_id),
+                        static_cast<int64_t>(page),
+                        c.wait_plan_bytes);
+        if (c.wait_fault_id < r.res.faults.size())
+            r.res.faults[c.wait_fault_id].page_wait += waited;
+        resolve_epilogue(r, c, *f);
+        break;
+    case Cont::PageWaitInflight:
+        c.page_wait += waited;
+        SGMS_TRACE_SPAN(r.tracer, PageWait, "page_wait", "fault",
+                        c.now - waited, c.now,
+                        static_cast<int64_t>(c.wait_fault_id),
+                        static_cast<int64_t>(page),
+                        static_cast<int64_t>(c.wait_sp));
+        if (c.wait_fault_id < r.res.faults.size())
+            r.res.faults[c.wait_fault_id].page_wait += waited;
+        resolve_epilogue(r, c, *f);
+        break;
+    default:
+        SGMS_ASSERT(false);
+    }
+    c.cont = Cont::None;
+    complete_ref_after_slow(r, c, /*in_step=*/false);
+}
+
+/** A disk sleep reached its target time (scheduler popped us). */
+void
+MultiClientSimulator::finish_disk_wake(Run &r, Client &c)
+{
+    Tick lat = c.sleep_lat;
+    c.now = c.wait_start + lat;
+    c.blocked = false;
+    c.total_blocked += lat;
+    c.pending_steal = 0;
+    if (lat > 0) {
+        SGMS_TRACE_SPAN(r.tracer, Block, "disk", "program",
+                        c.now - lat, c.now, c.wait_seq++,
+                        static_cast<int64_t>(c.ref_index), 0);
+    }
+    PageId page = c.wait_page;
+    if (c.cont == Cont::DiskPageFault) {
+        c.sp_latency += lat;
+        if (cfg_.record_faults) {
+            FaultRecord &rec = r.res.faults[c.wait_fault_id];
+            rec.sp_wait = lat;
+            rec.from_disk = true;
+        }
+        c.pt.mark_all_valid(page);
+        r.d_fault_wait->add(ticks::to_ns(lat));
+        SGMS_TRACE_SPAN(r.tracer, Fault, "demand", "fault",
+                        c.now - lat, c.now,
+                        static_cast<int64_t>(c.wait_fault_id),
+                        static_cast<int64_t>(page),
+                        static_cast<int64_t>(cfg_.page_size));
+        PageTable::Frame *f = c.pt.find(page);
+        SGMS_ASSERT(f);
+        post_fault_epilogue(r, c, *f);
+    } else {
+        SGMS_ASSERT(c.cont == Cont::DiskSubpageDegraded);
+        c.sp_latency += lat;
+        c.pt.mark_all_valid(page);
+        r.d_fault_wait->add(ticks::to_ns(lat));
+        SGMS_TRACE_SPAN(r.tracer, Gms, "degraded_disk", "reliability",
+                        c.now - lat, c.now,
+                        static_cast<int64_t>(c.wait_fault_id),
+                        static_cast<int64_t>(page),
+                        static_cast<int64_t>(cfg_.page_size));
+        if (c.wait_fault_id < r.res.faults.size())
+            r.res.faults[c.wait_fault_id].page_wait += lat;
+        PageTable::Frame *f = c.pt.find(page);
+        SGMS_ASSERT(f);
+        resolve_epilogue(r, c, *f);
+    }
+    c.cont = Cont::None;
+}
+
+void
+MultiClientSimulator::deliver(Run &r, Client &c, PageId page,
+                              uint64_t fault_id, uint64_t mask,
+                              bool demand, Tick issued,
+                              Tick blocked_at_issue, Tick delivered,
+                              Tick recv_cpu)
+{
+    PageTable::Frame *frame = c.pt.find(page);
+    if (!frame || frame->fault_id != fault_id)
+        return;
+
+    if (r.finj) {
+        uint64_t already = mask & frame->valid.raw();
+        if (already) {
+            uint64_t n = __builtin_popcountll(already);
+            r.res.duplicate_deliveries += n;
+            r.c_duplicates->inc(n);
+        }
+    }
+
+    uint64_t m = mask;
+    while (m) {
+        SubpageIndex idx = __builtin_ctzll(m);
+        m &= m - 1;
+        c.pt.mark_valid(page, idx);
+    }
+    if (frame->complete)
+        c.pal.page_completed(page);
+
+    if (recv_cpu && !c.blocked)
+        c.pending_steal += recv_cpu;
+
+    if (!demand) {
+        Tick dur = delivered - issued;
+        Tick blocked_during =
+            c.blocked_at(delivered) - blocked_at_issue;
+        blocked_during = std::clamp<Tick>(blocked_during, 0, dur);
+        r.res.io_overlap += blocked_during;
+        r.res.comp_overlap += dur - blocked_during;
+    }
+
+    maybe_wake(r, c, delivered);
+}
+
+void
+MultiClientSimulator::issue_transfers(Run &r, Client &c, PageId page,
+                                      uint64_t fault_id,
+                                      const FetchPlan &plan,
+                                      SubpageIndex faulted,
+                                      uint32_t byte_in_sub)
+{
+    if (r.finj) {
+        issue_transfers_reliable(r, c, page, fault_id, plan, faulted,
+                                 byte_in_sub);
+        return;
+    }
+    NodeId srv = r.gms.server_of(r.gpage(page, c.id));
+    if (PageTable::Frame *frame = c.pt.find(page)) {
+        for (const auto &seg : plan.segments)
+            frame->inflight |= seg.subpage_mask;
+    }
+
+    // The fault-handling fixed cost elapses on the (blocked) faulting
+    // CPU before the request message is injected.
+    Tick t0 = c.now + cfg_.net.fault_handle;
+    uint32_t cid = c.id;
+    // Init-captures, not [plan]: copy-capturing a const reference
+    // gives the closure a const member whose "move" is a throwing
+    // vector copy, which forces InlineFunction's heap fallback on
+    // every fault.
+    r.eq.schedule(t0, [this, &r, cid, page, fault_id, srv,
+                       plan = plan, t0] {
+        r.net.send(
+            t0,
+            {cid, srv, cfg_.net.request_bytes, MsgKind::Request, false,
+             [this, &r, cid, page, fault_id, srv,
+              plan = plan](Tick when, Tick) {
+                 for (const auto &seg : plan.segments) {
+                     Client &cc = r.clients[cid];
+                     Tick blocked_at_issue = cc.blocked_at(when);
+                     r.net.send(
+                         when,
+                         {srv, cid, seg.bytes,
+                          seg.demand ? MsgKind::DemandData
+                                     : MsgKind::BackgroundData,
+                          seg.pipelined_recv,
+                          [this, &r, cid, page, fault_id,
+                           mask = seg.subpage_mask,
+                           demand = seg.demand, issued = when,
+                           blocked_at_issue](Tick d, Tick rc) {
+                              deliver(r, r.clients[cid], page,
+                                      fault_id, mask, demand, issued,
+                                      blocked_at_issue, d, rc);
+                          }});
+                 }
+             }});
+    });
+}
+
+bool
+MultiClientSimulator::server_unavailable(Run &r, const Client &c,
+                                         NodeId srv) const
+{
+    return r.finj && (r.finj->server_down(srv, c.now) ||
+                      r.gms.server_failed(srv, c.now));
+}
+
+void
+MultiClientSimulator::note_server_down(Run &r, Client &c, NodeId srv)
+{
+    if (r.finj->server_down(srv, c.now)) {
+        r.gms.mark_server_failed(c.now, srv,
+                                 r.finj->recovery_time(srv, c.now));
+    }
+}
+
+void
+MultiClientSimulator::finish_if_complete(Run &r, PendingFetch &st)
+{
+    if (st.done)
+        return;
+    Client &c = r.clients[st.client];
+    PageTable::Frame *frame = c.pt.find(st.page);
+    if (!frame || frame->fault_id != st.fault_id) {
+        st.done = true;
+        return;
+    }
+    if ((st.expected & ~frame->valid.raw()) == 0)
+        st.done = true;
+}
+
+void
+MultiClientSimulator::issue_transfers_reliable(
+    Run &r, Client &c, PageId page, uint64_t fault_id,
+    const FetchPlan &plan, SubpageIndex faulted, uint32_t byte_in_sub)
+{
+    auto st = std::make_shared<PendingFetch>();
+    st->client = c.id;
+    st->page = page;
+    st->fault_id = fault_id;
+    st->srv = r.gms.server_of(r.gpage(page, c.id));
+    st->demand_sp = faulted;
+    st->byte_in_sub = byte_in_sub;
+    if (PageTable::Frame *frame = c.pt.find(page)) {
+        for (const auto &seg : plan.segments) {
+            frame->inflight |= seg.subpage_mask;
+            st->expected |= seg.subpage_mask;
+        }
+    }
+    start_attempt(r, std::move(st), plan,
+                  c.now + cfg_.net.fault_handle);
+}
+
+void
+MultiClientSimulator::start_attempt(Run &r,
+                                    std::shared_ptr<PendingFetch> st,
+                                    FetchPlan plan, Tick when)
+{
+    Tick timeout =
+        cfg_.retry.timeout_for(cfg_.net, plan.total_bytes());
+    r.eq.schedule(when, [this, &r, st, plan = std::move(plan), when,
+                         timeout] {
+        if (st->done)
+            return;
+        uint64_t gen = st->generation;
+        r.net.send(
+            when,
+            {st->client, st->srv, cfg_.net.request_bytes,
+             MsgKind::Request, false,
+             [this, &r, st, plan = plan](Tick at, Tick) {
+                 if (st->done)
+                     return;
+                 for (const auto &seg : plan.segments) {
+                     Tick blocked_at_issue =
+                         r.clients[st->client].blocked_at(at);
+                     r.net.send(
+                         at,
+                         {st->srv, st->client, seg.bytes,
+                          seg.demand ? MsgKind::DemandData
+                                     : MsgKind::BackgroundData,
+                          seg.pipelined_recv,
+                          [this, &r, st, mask = seg.subpage_mask,
+                           demand = seg.demand, issued = at,
+                           blocked_at_issue](Tick d, Tick rc) {
+                              deliver(r, r.clients[st->client],
+                                      st->page, st->fault_id, mask,
+                                      demand, issued,
+                                      blocked_at_issue, d, rc);
+                              finish_if_complete(r, *st);
+                          }});
+                 }
+             }});
+        r.eq.schedule(when + timeout, [this, &r, st, gen,
+                                       at = when + timeout] {
+            on_fetch_timeout(r, st, gen, at);
+        });
+    });
+}
+
+void
+MultiClientSimulator::on_fetch_timeout(Run &r,
+                                       std::shared_ptr<PendingFetch> st,
+                                       uint64_t generation, Tick when)
+{
+    if (st->done || st->generation != generation)
+        return;
+    finish_if_complete(r, *st);
+    if (st->done)
+        return;
+    Client &c = r.clients[st->client];
+    PageTable::Frame *frame = c.pt.find(st->page);
+    SGMS_ASSERT(frame); // finish_if_complete marks done otherwise
+    uint64_t missing = st->expected & ~frame->valid.raw();
+
+    ++r.res.timeouts;
+    r.c_timeouts->inc();
+    SGMS_TRACE_INSTANT(r.tracer, Gms, "timeout", "reliability", when,
+                       st->fault_id,
+                       static_cast<int64_t>(st->page),
+                       static_cast<int64_t>(st->attempt));
+    SGMS_DPRINTF(Gms,
+                 "client %u fetch timeout page %llu attempt %u "
+                 "missing %llx",
+                 st->client,
+                 static_cast<unsigned long long>(st->page),
+                 st->attempt,
+                 static_cast<unsigned long long>(missing));
+
+    if (st->attempt >= cfg_.retry.max_attempts ||
+        r.finj->server_down(st->srv, when)) {
+        degrade_to_disk(r, st, missing, when);
+        return;
+    }
+
+    ++st->attempt;
+    ++st->generation;
+    ++r.res.retries;
+    r.c_retries->inc();
+
+    SubpageIndex anchor =
+        (missing >> st->demand_sp) & 1
+            ? st->demand_sp
+            : static_cast<SubpageIndex>(__builtin_ctzll(missing));
+    uint32_t byte = anchor == st->demand_sp ? st->byte_in_sub : 0;
+    FetchPlan plan = c.policy->plan(r.geo, anchor, byte, missing);
+    SGMS_ASSERT(!plan.from_disk);
+    if (PageTable::Frame *f = c.pt.find(st->page)) {
+        for (const auto &seg : plan.segments)
+            f->inflight |= seg.subpage_mask;
+    }
+
+    Tick base_timeout =
+        cfg_.retry.timeout_for(cfg_.net, plan.total_bytes());
+    Tick delay = cfg_.retry.backoff_delay(st->attempt, base_timeout,
+                                          r.finj->jitter_draw());
+    r.d_retry_delay->add(ticks::to_ns(delay));
+    SGMS_TRACE_SPAN(r.tracer, Gms, "retry_backoff", "reliability",
+                    when, when + delay, st->fault_id,
+                    static_cast<int64_t>(st->page),
+                    static_cast<int64_t>(st->attempt));
+    start_attempt(r, st, std::move(plan), when + delay);
+}
+
+void
+MultiClientSimulator::degrade_to_disk(Run &r,
+                                      std::shared_ptr<PendingFetch> st,
+                                      uint64_t missing, Tick when)
+{
+    st->done = true;
+    ++r.res.degraded_fetches;
+    r.c_degraded->inc();
+
+    Tick failed_until = r.finj->server_down(st->srv, when)
+                            ? r.finj->recovery_time(st->srv, when)
+                            : when + cfg_.retry.quarantine;
+    r.gms.mark_server_failed(when, st->srv, failed_until);
+
+    uint32_t bytes = static_cast<uint32_t>(
+        __builtin_popcountll(missing) * cfg_.subpage_size);
+    Tick latency = cfg_.disk.access_latency(bytes);
+    SGMS_TRACE_SPAN(r.tracer, Gms, "degraded_disk", "reliability",
+                    when, when + latency, st->fault_id,
+                    static_cast<int64_t>(st->page),
+                    static_cast<int64_t>(bytes));
+
+    r.eq.schedule(when + latency, [this, &r, st, missing,
+                                   at = when + latency] {
+        Client &c = r.clients[st->client];
+        PageTable::Frame *frame = c.pt.find(st->page);
+        if (!frame || frame->fault_id != st->fault_id)
+            return;
+        uint64_t m = missing;
+        while (m) {
+            SubpageIndex idx = __builtin_ctzll(m);
+            m &= m - 1;
+            c.pt.mark_valid(st->page, idx);
+        }
+        if (frame->complete)
+            c.pal.page_completed(st->page);
+        maybe_wake(r, c, at);
+    });
+}
+
+void
+MultiClientSimulator::page_fault(Run &r, Client &c, PageId page)
+{
+    const TraceEvent ev = c.cur_ev;
+    ++r.res.page_faults;
+    ++c.page_faults;
+    r.c_page_faults->inc();
+    if (cfg_.record_faults) {
+        r.res.clustering.add(
+            static_cast<double>(c.ref_index),
+            static_cast<double>(r.res.page_faults));
+    }
+    SGMS_DPRINTF(Sim,
+                 "client %u page fault #%llu on page %llu at ref %llu",
+                 c.id,
+                 static_cast<unsigned long long>(r.res.page_faults),
+                 static_cast<unsigned long long>(page),
+                 static_cast<unsigned long long>(c.ref_index));
+
+    if (c.pt.full()) {
+        PageTable::Frame victim_state;
+        PageId victim = c.pt.evict(&victim_state);
+        r.c_evictions->inc();
+        PageId gv = r.gpage(victim, c.id);
+        SGMS_TRACE_INSTANT(r.tracer, Gms, "evict", "gms", c.now,
+                           static_cast<int64_t>(gv),
+                           static_cast<int64_t>(cfg_.page_size),
+                           static_cast<int64_t>(r.gms.server_of(gv)));
+        r.gms.put_page(c.now, gv, cfg_.page_size, victim_state.dirty,
+                       c.id);
+    }
+
+    PageTable::Frame &frame = c.pt.install(page);
+    uint64_t fault_id = r.res.faults.size();
+    frame.fault_id = fault_id;
+    frame.last_touch = c.ref_index;
+
+    SubpageIndex sp = r.geo.subpage_of(ev.addr);
+    uint32_t byte_in_sub = ev.addr & (cfg_.subpage_size - 1);
+    uint64_t missing = ~0ULL;
+    if (r.geo.subpages_per_page() < 64)
+        missing = (1ULL << r.geo.subpages_per_page()) - 1;
+
+    // Pushed at fault start (the single-client kernel pushes it at
+    // fault end): sp_wait / from_disk are filled in by the wake
+    // continuation, so the final record content is identical, while
+    // concurrent faults from other clients still get unique ids.
+    if (cfg_.record_faults) {
+        r.res.faults.push_back(
+            FaultRecord{page, c.ref_index, c.now, 0, 0, false});
+    }
+
+    FetchPlan plan = c.policy->plan(r.geo, sp, byte_in_sub, missing);
+    SGMS_TRACE_INSTANT(r.tracer, Policy, "plan", "policy", c.now,
+                       static_cast<int64_t>(fault_id),
+                       static_cast<int64_t>(plan.segments.size()),
+                       static_cast<int64_t>(plan.total_bytes()));
+    PageId gp = r.gpage(page, c.id);
+    NodeId srv = r.gms.server_of(gp);
+    bool degraded = false;
+    if (!plan.from_disk && server_unavailable(r, c, srv)) {
+        note_server_down(r, c, srv);
+        degraded = true;
+        ++r.res.degraded_fetches;
+        r.c_degraded->inc();
+        SGMS_TRACE_INSTANT(r.tracer, Gms, "degraded_lookup",
+                           "reliability", c.now,
+                           static_cast<int64_t>(fault_id),
+                           static_cast<int64_t>(gp),
+                           static_cast<int64_t>(srv));
+    }
+    if (plan.from_disk || degraded || !r.gms.in_global_memory(gp)) {
+        Tick lat = cfg_.disk.access_latency(cfg_.page_size);
+        r.c_disk_faults->inc();
+        c.wait_page = page;
+        c.wait_sp = sp;
+        c.wait_fault_id = fault_id;
+        begin_disk_sleep(r, c, lat, Cont::DiskPageFault);
+        return;
+    }
+    issue_transfers(r, c, page, fault_id, plan, sp, byte_in_sub);
+    park_fetch_wait(r, c, page, sp, fault_id, Cont::NetPageFault,
+                    static_cast<int64_t>(plan.segments[0].bytes));
+}
+
+void
+MultiClientSimulator::subpage_fault(Run &r, Client &c,
+                                    PageTable::Frame &frame,
+                                    PageId page)
+{
+    const TraceEvent ev = c.cur_ev;
+    ++r.res.lazy_subpage_faults;
+    ++c.sub_faults;
+    r.c_subpage_faults->inc();
+
+    SubpageIndex sp = r.geo.subpage_of(ev.addr);
+    uint32_t byte_in_sub = ev.addr & (cfg_.subpage_size - 1);
+    uint64_t missing = ~frame.valid.raw();
+    if (r.geo.subpages_per_page() < 64)
+        missing &= (1ULL << r.geo.subpages_per_page()) - 1;
+    SGMS_DPRINTF(Sim,
+                 "client %u subpage fault on page %llu subpage %u "
+                 "at ref %llu",
+                 c.id, static_cast<unsigned long long>(page), sp,
+                 static_cast<unsigned long long>(c.ref_index));
+
+    FetchPlan plan = c.policy->plan(r.geo, sp, byte_in_sub, missing);
+    SGMS_ASSERT(!plan.from_disk);
+    SGMS_TRACE_INSTANT(r.tracer, Policy, "plan", "policy", c.now,
+                       static_cast<int64_t>(frame.fault_id),
+                       static_cast<int64_t>(plan.segments.size()),
+                       static_cast<int64_t>(plan.total_bytes()));
+    PageId gp = r.gpage(page, c.id);
+    NodeId srv = r.gms.server_of(gp);
+    if (server_unavailable(r, c, srv)) {
+        note_server_down(r, c, srv);
+        ++r.res.degraded_fetches;
+        r.c_degraded->inc();
+        Tick lat = cfg_.disk.access_latency(cfg_.page_size);
+        r.c_disk_faults->inc();
+        c.wait_page = page;
+        c.wait_sp = sp;
+        c.wait_fault_id = frame.fault_id;
+        begin_disk_sleep(r, c, lat, Cont::DiskSubpageDegraded);
+        return;
+    }
+    issue_transfers(r, c, page, frame.fault_id, plan, sp, byte_in_sub);
+    park_fetch_wait(r, c, page, sp, frame.fault_id,
+                    Cont::NetSubpageFault,
+                    static_cast<int64_t>(plan.segments[0].bytes));
+}
+
+SimResult
+MultiClientSimulator::finish()
+{
+    SGMS_ASSERT(run_);
+    Run &r = *run_;
+    SGMS_ASSERT(r.active == 0);
+    SimResult &res = r.res;
+
+    uint64_t refs = 0;
+    Tick exec = 0, sp_lat = 0, pwait = 0, recv = 0, emu = 0;
+    Tick tlb_ovh = 0, blocked = 0, runtime = 0;
+    for (Client &c : r.clients) {
+        refs += c.ref_index;
+        exec += c.exec_time;
+        sp_lat += c.sp_latency;
+        pwait += c.page_wait;
+        recv += c.recv_overhead;
+        emu += c.emulation_overhead;
+        tlb_ovh += c.tlb_overhead;
+        blocked += c.total_blocked;
+        if (c.now > runtime)
+            runtime = c.now;
+        res.evictions += c.pt.evictions();
+        res.emulated_accesses += c.pal.emulated();
+        if (c.tlb) {
+            TlbStats s = c.tlb->stats();
+            res.tlb_stats.hits += s.hits;
+            res.tlb_stats.misses += s.misses;
+        }
+    }
+    res.refs = refs;
+    res.runtime = runtime;
+    res.exec_time = exec;
+    res.sp_latency = sp_lat;
+    res.page_wait = pwait;
+    res.recv_overhead = recv;
+    res.emulation_overhead = emu;
+    res.tlb_overhead = tlb_ovh;
+    res.putpages = r.gms.putpages();
+    res.global_discards = r.gms.global_discards();
+    res.net_stats = r.net.stats();
+    // "Requester" busy totals generalize to the sum over all client
+    // nodes; at N=1 that is exactly node 0.
+    Tick wire = 0, dma = 0, cpu = 0;
+    for (uint32_t i = 0; i < r.n; ++i) {
+        wire += r.net.wire_to(i).total_busy();
+        dma += r.net.dma(i).total_busy();
+        cpu += r.net.cpu(i).total_busy();
+    }
+    res.requester_wire_busy = wire;
+    res.requester_dma_busy = dma;
+    res.requester_cpu_busy = cpu;
+    res.server_failures = r.gms.server_failures();
+    if (r.finj) {
+        r.metrics.counter("gms.server_failures")
+            .inc(res.server_failures);
+    }
+
+    double runtime_ns = ticks::to_ns(runtime);
+    r.metrics.gauge("sim.runtime_ns").set(runtime_ns);
+    r.metrics.gauge("sim.exec_ns").set(ticks::to_ns(exec));
+    r.metrics.gauge("sim.blocked_ns").set(ticks::to_ns(blocked));
+    r.metrics.gauge("sim.sp_latency_ns").set(ticks::to_ns(sp_lat));
+    if (runtime > 0) {
+        r.metrics.gauge("net.wire_busy")
+            .set(static_cast<double>(wire) /
+                 static_cast<double>(runtime));
+        r.metrics.gauge("net.req_dma_busy")
+            .set(static_cast<double>(dma) /
+                 static_cast<double>(runtime));
+        r.metrics.gauge("net.req_cpu_busy")
+            .set(static_cast<double>(cpu) /
+                 static_cast<double>(runtime));
+    }
+    if (cfg_.tlb_enabled) {
+        r.metrics.counter("tlb.hits").inc(res.tlb_stats.hits);
+        r.metrics.counter("tlb.misses").inc(res.tlb_stats.misses);
+    }
+
+    // Multi-client-only gauges, registered only at N>1 so N=1
+    // snapshots stay byte-identical to the single-client kernel
+    // (same discipline as the fault-injection-only counters).
+    if (r.n > 1) {
+        r.metrics.gauge("sim.clients")
+            .set(static_cast<double>(r.n));
+        r.metrics.gauge("sim.kernel_events")
+            .set(static_cast<double>(r.eq.executed()));
+        double cpu_max = 0, dma_max = 0, wire_max = 0;
+        if (runtime > 0) {
+            for (uint32_t s = 0; s < cfg_.gms.servers; ++s) {
+                NodeId node = r.n + s;
+                double d = static_cast<double>(runtime);
+                cpu_max = std::max(
+                    cpu_max, r.net.cpu(node).total_busy() / d);
+                dma_max = std::max(
+                    dma_max, r.net.dma(node).total_busy() / d);
+                wire_max = std::max(
+                    wire_max, r.net.wire_to(node).total_busy() / d);
+            }
+        }
+        r.metrics.gauge("gms.server_cpu_util_max").set(cpu_max);
+        r.metrics.gauge("gms.server_dma_util_max").set(dma_max);
+        r.metrics.gauge("gms.server_wire_util_max").set(wire_max);
+        if (cfg_.metrics_per_client) {
+            for (Client &c : r.clients) {
+                std::string p =
+                    "client." + std::to_string(c.id) + ".";
+                r.metrics.gauge(p + "runtime_ns")
+                    .set(ticks::to_ns(c.now));
+                r.metrics.gauge(p + "exec_ns")
+                    .set(ticks::to_ns(c.exec_time));
+                r.metrics.gauge(p + "blocked_ns")
+                    .set(ticks::to_ns(c.total_blocked));
+                r.metrics.gauge(p + "sp_latency_ns")
+                    .set(ticks::to_ns(c.sp_latency));
+                r.metrics.gauge(p + "page_faults")
+                    .set(static_cast<double>(c.page_faults));
+                r.metrics.gauge(p + "refs")
+                    .set(static_cast<double>(c.ref_index));
+            }
+        }
+    }
+    res.metrics = r.metrics.snapshot();
+
+    SimResult out = std::move(res);
+    last_events_executed_ = r.eq.executed();
+    run_.reset();
+    return out;
+}
+
+} // namespace sgms

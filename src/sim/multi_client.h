@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Multi-client event kernel: N faulting clients in one timeline.
+ *
+ * The single-client simulator (core/simulator.h) runs the traced
+ * program as the simulation's main thread and everything else as
+ * events. This kernel generalizes that to N client nodes, each with
+ * its own trace cursor, page table, replacement state, TLB, and PAL
+ * emulator, all faulting against *shared* network stage resources and
+ * GMS servers — so cross-client queueing, directory contention, and
+ * server CPU/DMA saturation are emergent rather than the analytic
+ * cluster_load knob.
+ *
+ * Clients are plain state machines stored in one dense vector indexed
+ * by client id; a small binary heap orders runnable clients by
+ * (resume time, id) and the shared EventQueue interleaves with them,
+ * events winning ties. A client executes references run-ahead style
+ * until it crosses the next pending event time or needs the shared
+ * cluster (a fault), at which point it yields or parks; fault
+ * completions wake it from inside the delivering event. At N=1 the
+ * schedule this produces is exactly the single-client simulator's
+ * drain/wait_until schedule, so results are byte-identical
+ * (DESIGN.md §15 has the equivalence argument).
+ *
+ * Node layout: clients occupy nodes 0..N-1, GMS servers start at node
+ * N. Page identity on the shared cluster is namespaced per client
+ * (gpage = page * N + client), which reduces to the identity map at
+ * N=1.
+ */
+
+#ifndef SGMS_SIM_MULTI_CLIENT_H
+#define SGMS_SIM_MULTI_CLIENT_H
+
+#include <memory>
+#include <vector>
+
+#include "core/sim_config.h"
+#include "core/sim_result.h"
+#include "mem/page_table.h"
+#include "policy/fetch_policy.h"
+#include "trace/trace.h"
+
+namespace sgms
+{
+
+/** Runs N trace cursors against one shared simulated cluster. */
+class MultiClientSimulator
+{
+  public:
+    explicit MultiClientSimulator(SimConfig cfg);
+    ~MultiClientSimulator();
+
+    /**
+     * Simulate every trace to completion and aggregate the results;
+     * traces[i] drives client i and must stay alive for the call.
+     * Reusable (state is per-run).
+     */
+    SimResult run(const std::vector<TraceSource *> &traces);
+
+    // Staged form of run() for benchmarks and allocation probes:
+    // begin() builds the run state and primes every client, drive()
+    // executes up to `rounds` scheduler dispatches (one event or one
+    // client step each) and returns false once all clients finished,
+    // finish() aggregates and tears down.
+    void begin(const std::vector<TraceSource *> &traces);
+    bool drive(uint64_t rounds);
+    SimResult finish();
+
+    /** Events executed so far (sticky across finish()). */
+    uint64_t events_executed() const;
+    /** Events currently pending in the shared queue (0 after finish). */
+    uint64_t events_pending() const;
+    /** References executed so far across all clients. */
+    uint64_t refs_executed() const;
+
+    const SimConfig &config() const { return cfg_; }
+
+  private:
+    struct Run;
+    struct Client;
+    struct PendingFetch;
+    enum class Phase : uint8_t;
+    enum class Cont : uint8_t;
+
+    void prime_client(Run &r, Client &c);
+    void step(Run &r, Client &c);
+    bool advance_after_ref(Run &r, Client &c, bool in_step);
+    bool complete_ref_after_slow(Run &r, Client &c, bool in_step);
+    bool yield_for_slow_path(Run &r, Client &c);
+    void park_fetch_wait(Run &r, Client &c, PageId page,
+                         SubpageIndex sp, uint64_t fault_id, Cont cont,
+                         int64_t demand_bytes);
+    void begin_disk_sleep(Run &r, Client &c, Tick lat, Cont cont);
+    void finish_client(Run &r, Client &c);
+
+    void page_fault(Run &r, Client &c, PageId page);
+    void subpage_fault(Run &r, Client &c, PageTable::Frame &frame,
+                       PageId page);
+    void issue_transfers(Run &r, Client &c, PageId page,
+                         uint64_t fault_id, const FetchPlan &plan,
+                         SubpageIndex faulted, uint32_t byte_in_sub);
+    void deliver(Run &r, Client &c, PageId page, uint64_t fault_id,
+                 uint64_t mask, bool demand, Tick issued,
+                 Tick blocked_at_issue, Tick delivered, Tick recv_cpu);
+    void resolve_watch(Run &r, Client &c, PageTable::Frame &frame,
+                       SubpageIndex touched);
+    void maybe_wake(Run &r, Client &c, Tick at);
+    void wake_from_fetch(Run &r, Client &c, Tick at);
+    void finish_disk_wake(Run &r, Client &c);
+    void post_fault_epilogue(Run &r, Client &c, PageTable::Frame &f);
+    void resolve_epilogue(Run &r, Client &c, PageTable::Frame &f);
+
+    // Reliability layer (active only when cfg_.faults is enabled).
+    bool server_unavailable(Run &r, const Client &c, NodeId srv) const;
+    void note_server_down(Run &r, Client &c, NodeId srv);
+    void issue_transfers_reliable(Run &r, Client &c, PageId page,
+                                  uint64_t fault_id,
+                                  const FetchPlan &plan,
+                                  SubpageIndex faulted,
+                                  uint32_t byte_in_sub);
+    void start_attempt(Run &r, std::shared_ptr<PendingFetch> st,
+                       FetchPlan plan, Tick when);
+    void on_fetch_timeout(Run &r, std::shared_ptr<PendingFetch> st,
+                          uint64_t generation, Tick when);
+    void degrade_to_disk(Run &r, std::shared_ptr<PendingFetch> st,
+                         uint64_t missing, Tick when);
+    void finish_if_complete(Run &r, PendingFetch &st);
+
+    SimConfig cfg_;
+    std::unique_ptr<Run> run_;
+    uint64_t last_events_executed_ = 0;
+};
+
+} // namespace sgms
+
+#endif // SGMS_SIM_MULTI_CLIENT_H

@@ -111,6 +111,13 @@ class MmapReplayTrace : public TraceSource
 
     void reset() override { pos_ = 0; }
 
+    void
+    skip(uint64_t n) override
+    {
+        uint64_t avail = file_->size() - pos_;
+        pos_ += n < avail ? n : avail;
+    }
+
     uint64_t size_hint() const override { return file_->size(); }
 
     /** Position the cursor (multi-cursor replay windows). */

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
@@ -54,6 +55,27 @@ class TraceSource
 
     /** Rewind to the beginning. */
     virtual void reset() = 0;
+
+    /**
+     * Discard the next @p n events (stopping early at end of trace).
+     * The generic implementation reads and drops batches; sources
+     * with random access override it with an O(1) cursor move, which
+     * is what makes per-client rotated cursors over one shared trace
+     * cheap (multi-client kernel, DESIGN.md §15).
+     */
+    virtual void
+    skip(uint64_t n)
+    {
+        TraceEvent scratch[256];
+        while (n > 0) {
+            size_t want =
+                n < 256 ? static_cast<size_t>(n) : size_t{256};
+            size_t got = next_batch(scratch, want);
+            if (got == 0)
+                return;
+            n -= got;
+        }
+    }
 
     /** Expected number of events (0 if unknown). */
     virtual uint64_t size_hint() const { return 0; }
@@ -113,6 +135,13 @@ class VectorTrace : public TraceSource
 
     void reset() override { pos_ = 0; }
 
+    void
+    skip(uint64_t n) override
+    {
+        uint64_t avail = events_.size() - pos_;
+        pos_ += static_cast<size_t>(n < avail ? n : avail);
+    }
+
     uint64_t size_hint() const override { return events_.size(); }
 
     const std::vector<TraceEvent> &events() const { return events_; }
@@ -120,6 +149,80 @@ class VectorTrace : public TraceSource
   private:
     std::vector<TraceEvent> events_;
     size_t pos_ = 0;
+};
+
+/**
+ * A view of another trace rotated left by @p offset references: it
+ * yields [offset, L) then wraps to [0, offset), so every client of a
+ * multi-client run streams the same L references but starts at a
+ * different phase of the program. Offset 0 is a pass-through. The
+ * rotation relies on an exact size_hint from the base source; when
+ * the base cannot report its length the trace degrades to a plain
+ * pass-through (offset forced to 0).
+ */
+class RotatedTrace : public TraceSource
+{
+  public:
+    RotatedTrace(std::unique_ptr<TraceSource> base, uint64_t offset)
+        : base_(std::move(base)), length_(base_->size_hint()),
+          offset_(length_ ? offset % length_ : 0)
+    {
+        RotatedTrace::reset();
+    }
+
+    bool
+    next(TraceEvent &ev) override
+    {
+        return next_batch(&ev, 1) == 1;
+    }
+
+    size_t
+    next_batch(TraceEvent *out, size_t n) override
+    {
+        if (length_ == 0)
+            return base_->next_batch(out, n);
+        size_t total = 0;
+        while (total < n && produced_ < length_) {
+            uint64_t left = length_ - produced_;
+            size_t want = n - total < left
+                              ? n - total
+                              : static_cast<size_t>(left);
+            size_t got = base_->next_batch(out + total, want);
+            if (got == 0) {
+                if (wrapped_)
+                    break; // base shorter than its size_hint
+                wrapped_ = true;
+                base_->reset();
+                continue;
+            }
+            total += got;
+            produced_ += got;
+        }
+        return total;
+    }
+
+    void
+    reset() override
+    {
+        base_->reset();
+        base_->skip(offset_);
+        wrapped_ = offset_ == 0;
+        produced_ = 0;
+    }
+
+    uint64_t size_hint() const override
+    {
+        return length_ ? length_ : base_->size_hint();
+    }
+
+    uint64_t offset() const { return offset_; }
+
+  private:
+    std::unique_ptr<TraceSource> base_;
+    uint64_t length_ = 0;
+    uint64_t offset_ = 0;
+    uint64_t produced_ = 0;
+    bool wrapped_ = false;
 };
 
 /**

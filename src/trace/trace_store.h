@@ -89,6 +89,13 @@ class ReplayTrace : public TraceSource
 
     void reset() override { pos_ = 0; }
 
+    void
+    skip(uint64_t n) override
+    {
+        uint64_t avail = events_->size() - pos_;
+        pos_ += static_cast<size_t>(n < avail ? n : avail);
+    }
+
     uint64_t size_hint() const override { return events_->size(); }
 
     /** The shared buffer (for tests asserting sharing). */

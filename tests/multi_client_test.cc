@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Tests for the multi-client event kernel (sim/multi_client.h) and
+ * its trace plumbing: rotated/seekable cursors, N=1 byte-identity
+ * with the single-client simulator, same-seed determinism at larger
+ * client counts (including through the exec engine at any --jobs /
+ * --workers), emergent contention, fault-injection interaction, and
+ * zero steady-state allocations at N=256.
+ *
+ * This binary installs the allocation probe (common/alloc_probe.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/alloc_probe.h"
+#include "core/experiment.h"
+#include "core/simulator.h"
+#include "core/sweep.h"
+#include "exec/parallel_runner.h"
+#include "exec/result_cache.h"
+#include "exec/result_codec.h"
+#include "fault/fault_plan.h"
+#include "sim/event_queue.h"
+#include "sim/multi_client.h"
+#include "trace/apps.h"
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+
+SGMS_INSTALL_ALLOC_PROBE();
+
+namespace sgms
+{
+namespace
+{
+
+using exec::result_blob;
+
+// ---------------------------------------------------------------
+// Trace cursors: skip() and RotatedTrace
+// ---------------------------------------------------------------
+
+VectorTrace
+counting_trace(uint64_t n)
+{
+    VectorTrace t;
+    for (uint64_t i = 0; i < n; ++i)
+        t.push(i * 64, /*write=*/false);
+    return t;
+}
+
+std::vector<Addr>
+drain(TraceSource &t)
+{
+    std::vector<Addr> out;
+    TraceEvent ev;
+    while (t.next(ev))
+        out.push_back(ev.addr);
+    return out;
+}
+
+TEST(TraceSkip, VectorTraceSkipsInO1)
+{
+    VectorTrace t = counting_trace(10);
+    t.skip(3);
+    TraceEvent ev;
+    ASSERT_TRUE(t.next(ev));
+    EXPECT_EQ(ev.addr, 3u * 64);
+    t.skip(100); // past the end clamps
+    EXPECT_FALSE(t.next(ev));
+}
+
+TEST(TraceSkip, DefaultImplementationDiscardsEvents)
+{
+    // SyntheticTrace has no skip override; the base-class default
+    // must read-and-discard to the same position.
+    auto a = make_app_trace("gdb", 0.1, 7);
+    auto b = make_app_trace("gdb", 0.1, 7);
+    TraceEvent ev;
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_TRUE(a->next(ev));
+    b->skip(1000);
+    std::vector<Addr> rest_a = drain(*a);
+    std::vector<Addr> rest_b = drain(*b);
+    EXPECT_EQ(rest_a, rest_b);
+}
+
+TEST(RotatedTraceTest, OffsetZeroIsIdentity)
+{
+    auto base = std::make_unique<VectorTrace>(counting_trace(8));
+    RotatedTrace rot(std::move(base), 0);
+    EXPECT_EQ(rot.offset(), 0u);
+    std::vector<Addr> got = drain(rot);
+    ASSERT_EQ(got.size(), 8u);
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(got[i], i * 64);
+}
+
+TEST(RotatedTraceTest, RotatesAndWraps)
+{
+    auto base = std::make_unique<VectorTrace>(counting_trace(8));
+    RotatedTrace rot(std::move(base), 3);
+    std::vector<Addr> got = drain(rot);
+    ASSERT_EQ(got.size(), 8u); // same length, rotated
+    for (uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(got[i], ((3 + i) % 8) * 64);
+    // reset() replays the same rotation.
+    rot.reset();
+    EXPECT_EQ(drain(rot), got);
+}
+
+TEST(RotatedTraceTest, OffsetReducesModuloLength)
+{
+    auto base = std::make_unique<VectorTrace>(counting_trace(8));
+    RotatedTrace rot(std::move(base), 8 * 5 + 2);
+    EXPECT_EQ(rot.offset(), 2u);
+    EXPECT_EQ(rot.size_hint(), 8u);
+}
+
+// ---------------------------------------------------------------
+// Event heap at 10k+ concurrent in-flight events
+// ---------------------------------------------------------------
+
+TEST(EventKernel, TenThousandInFlightStaysAllocationFree)
+{
+    EventQueue eq;
+    uint64_t sink = 0;
+    Tick t = 0;
+    auto wave = [&](uint32_t width) {
+        for (uint32_t i = 0; i < width; ++i)
+            eq.schedule(t + 1 + (i % 97), [&sink] { ++sink; });
+        t += 200;
+        eq.run_until(t);
+    };
+    wave(12000); // grows heap + pool to steady size
+    uint64_t before = alloc_probe_count();
+    for (int round = 0; round < 8; ++round)
+        wave(12000);
+    EXPECT_EQ(alloc_probe_count(), before);
+    EXPECT_EQ(sink, 12000u * 9);
+}
+
+// ---------------------------------------------------------------
+// N=1 byte-identity with the single-client simulator
+// ---------------------------------------------------------------
+
+/** Fault-heavy workload with evictions (obs/fault smoke shape). */
+WorkloadSpec
+mc_workload()
+{
+    WorkloadSpec spec;
+    spec.name = "mc-smoke";
+    spec.hot_pages = 8;
+
+    PhaseSpec sweep;
+    sweep.kind = PhaseSpec::Kind::SweepScan;
+    sweep.page_lo = 8;
+    sweep.page_hi = 72;
+    sweep.refs = 64 * 4000;
+    sweep.hot_frac = 1.0 - 1.0 / 4000;
+    spec.phases.push_back(sweep);
+
+    PhaseSpec dense;
+    dense.kind = PhaseSpec::Kind::DenseScan;
+    dense.page_lo = 72;
+    dense.page_hi = 88;
+    dense.stride = 64;
+    dense.hot_frac = 0.9;
+    dense.refs = 16 * 128 * 10;
+    spec.phases.push_back(dense);
+    return spec;
+}
+
+SimResult
+run_single(const SimConfig &cfg, uint64_t seed = 42)
+{
+    SyntheticTrace trace(mc_workload(), seed);
+    Simulator sim(cfg);
+    return sim.run(trace);
+}
+
+SimResult
+run_multi(SimConfig cfg, uint32_t n, uint64_t seed = 42)
+{
+    cfg.clients = n;
+    std::vector<SyntheticTrace> traces;
+    traces.reserve(n);
+    for (uint32_t c = 0; c < n; ++c)
+        traces.emplace_back(mc_workload(), seed);
+    std::vector<TraceSource *> ptrs;
+    for (auto &t : traces)
+        ptrs.push_back(&t);
+    MultiClientSimulator sim(cfg);
+    return sim.run(ptrs);
+}
+
+SimConfig
+mc_config(const std::string &policy, uint32_t subpage = 1024)
+{
+    SimConfig cfg;
+    cfg.policy = policy;
+    cfg.subpage_size =
+        (policy == "fullpage" || policy == "disk") ? 8192 : subpage;
+    cfg.mem_pages = 44;
+    return cfg;
+}
+
+TEST(MultiClientIdentity, ByteIdenticalAtNOneAcrossPolicies)
+{
+    for (const char *policy :
+         {"fullpage", "eager", "pipelining", "pipelining-all", "lazy",
+          "disk"}) {
+        SCOPED_TRACE(policy);
+        SimConfig cfg = mc_config(policy);
+        SimResult s = run_single(cfg);
+        SimResult m = run_multi(cfg, 1);
+        // Bytes, not fields: the lossless blob covers every field
+        // including per-fault records and the metric snapshot.
+        EXPECT_EQ(result_blob(m), result_blob(s));
+    }
+}
+
+TEST(MultiClientIdentity, ByteIdenticalWithTlbAndSoftwarePal)
+{
+    SimConfig cfg = mc_config("eager");
+    cfg.tlb_enabled = true;
+    cfg.tlb_entries = 16;
+    cfg.tlb_assoc = 4;
+    EXPECT_EQ(result_blob(run_multi(cfg, 1)),
+              result_blob(run_single(cfg)));
+
+    SimConfig pal = mc_config("pipelining");
+    pal.protection = ProtectionMode::SoftwarePal;
+    EXPECT_EQ(result_blob(run_multi(pal, 1)),
+              result_blob(run_single(pal)));
+}
+
+TEST(MultiClientIdentity, ByteIdenticalWithClusterLoadKnob)
+{
+    SimConfig cfg = mc_config("eager");
+    cfg.cluster_load.server_utilization = 0.5;
+    EXPECT_EQ(result_blob(run_multi(cfg, 1)),
+              result_blob(run_single(cfg)));
+}
+
+TEST(MultiClientIdentity, ByteIdenticalUnderFaultInjection)
+{
+    fault::FaultPlan plan;
+    plan.seed = 5;
+    plan.set_loss(0.08);
+    plan.duplicate_prob = 0.02;
+    plan.outages.push_back(
+        {1, ticks::from_ms(5), ticks::from_ms(60)});
+    for (const char *policy : {"eager", "pipelining", "fullpage"}) {
+        SCOPED_TRACE(policy);
+        SimConfig cfg = mc_config(policy);
+        cfg.faults = plan;
+        EXPECT_EQ(result_blob(run_multi(cfg, 1)),
+                  result_blob(run_single(cfg)));
+    }
+}
+
+TEST(MultiClientIdentity, ExperimentRouteIsByteIdenticalAtNOne)
+{
+    // Experiment::run() must produce the same bytes whether clients
+    // is left at 1 (single-client simulator) or the multi-client
+    // kernel runs one client (goldens stay green either way).
+    Experiment ex;
+    ex.app = "gdb";
+    ex.scale = 0.3;
+    ex.policy = "eager";
+    ex.subpage_size = 1024;
+    ex.mem = MemConfig::Half;
+    SimResult s = ex.run();
+
+    SimConfig cfg = ex.config();
+    cfg.clients = 1;
+    auto traces = ex.client_traces(1);
+    std::vector<TraceSource *> ptrs{traces[0].get()};
+    MultiClientSimulator sim(cfg);
+    SimResult m = sim.run(ptrs);
+    m.app = ex.app;
+    EXPECT_EQ(result_blob(m), result_blob(s));
+}
+
+// ---------------------------------------------------------------
+// Multi-client determinism and aggregation
+// ---------------------------------------------------------------
+
+TEST(MultiClient, SameSeedIsByteIdenticalAtManyClientCounts)
+{
+    for (uint32_t n : {2u, 16u, 256u}) {
+        SCOPED_TRACE(n);
+        SimConfig cfg = mc_config("eager");
+        SimResult a = run_multi(cfg, n);
+        SimResult b = run_multi(cfg, n);
+        EXPECT_EQ(result_blob(a), result_blob(b));
+    }
+}
+
+TEST(MultiClient, AggregatesPerClientTalliesInClientOrder)
+{
+    SimConfig cfg = mc_config("eager");
+    SimResult one = run_multi(cfg, 1);
+    SimResult two = run_multi(cfg, 2);
+    // Both clients replay the full trace: refs double, faults at
+    // least double (contention can only add work), runtime grows.
+    EXPECT_EQ(two.refs, 2 * one.refs);
+    EXPECT_GE(two.page_faults, 2 * one.page_faults);
+    EXPECT_GE(two.runtime, one.runtime);
+}
+
+double
+gauge_of(const SimResult &r, const std::string &name)
+{
+    for (const auto &m : r.metrics)
+        if (m.name == name)
+            return m.value;
+    return -1.0;
+}
+
+TEST(MultiClient, PublishesKernelGaugesOnlyAboveOneClient)
+{
+    SimConfig cfg = mc_config("eager");
+    SimResult one = run_multi(cfg, 1);
+    EXPECT_EQ(gauge_of(one, "sim.clients"), -1.0);
+
+    SimResult four = run_multi(cfg, 4);
+    EXPECT_EQ(gauge_of(four, "sim.clients"), 4.0);
+    EXPECT_GT(gauge_of(four, "sim.kernel_events"), 0.0);
+    double cpu = gauge_of(four, "gms.server_cpu_util_max");
+    double wire = gauge_of(four, "gms.server_wire_util_max");
+    EXPECT_GE(cpu, 0.0);
+    EXPECT_LE(cpu, 1.0);
+    EXPECT_GE(wire, 0.0);
+    EXPECT_LE(wire, 1.0);
+}
+
+TEST(MultiClient, PerClientMetricsAreOptIn)
+{
+    SimConfig cfg = mc_config("eager");
+    SimResult agg = run_multi(cfg, 4);
+    EXPECT_EQ(gauge_of(agg, "client.0.refs"), -1.0);
+
+    cfg.metrics_per_client = true;
+    SimResult per = run_multi(cfg, 4);
+    EXPECT_GT(gauge_of(per, "client.0.refs"), 0.0);
+    EXPECT_GT(gauge_of(per, "client.3.refs"), 0.0);
+    EXPECT_GT(gauge_of(per, "client.2.runtime_ns"), 0.0);
+    // The aggregate counters are still the shared ones.
+    EXPECT_EQ(per.refs, agg.refs);
+}
+
+TEST(MultiClient, ContentionIsEmergent)
+{
+    // More clients on the same servers: per-client fault service
+    // time can only grow (queueing), so the makespan grows faster
+    // than the single-client runtime.
+    SimConfig cfg = mc_config("eager");
+    SimResult one = run_multi(cfg, 1);
+    SimResult sixteen = run_multi(cfg, 16);
+    EXPECT_GT(sixteen.runtime, one.runtime);
+    // Shared-wire accounting shows cross-client traffic.
+    EXPECT_GE(sixteen.net_stats.messages,
+              16 * one.net_stats.messages);
+}
+
+// ---------------------------------------------------------------
+// Fault injection at N>1: outage while many clients are in flight
+// ---------------------------------------------------------------
+
+TEST(MultiClientFaults, ServerOutageWhileManyClientsInFlight)
+{
+    // Servers start at node N: take down the first server from the
+    // start so early faults from every client hit the outage.
+    SimConfig cfg = mc_config("eager");
+    cfg.faults.seed = 9;
+    cfg.faults.outages.push_back(
+        {8, 0, ticks::from_ms(40)});
+    SimResult r = run_multi(cfg, 8);
+    SimResult one = run_multi(mc_config("eager"), 1);
+    EXPECT_EQ(r.refs, 8 * one.refs); // every client completed
+    EXPECT_GT(r.server_failures, 0u);
+    EXPECT_GT(r.retries + r.degraded_fetches, 0u);
+
+    // Same seed reproduces the same interleaving, bit for bit.
+    SimResult again = run_multi(cfg, 8);
+    EXPECT_EQ(result_blob(again), result_blob(r));
+}
+
+TEST(MultiClientFaults, LossAndDuplicatesCompleteAtN16)
+{
+    SimConfig cfg = mc_config("pipelining");
+    cfg.faults.seed = 5;
+    cfg.faults.set_loss(0.05);
+    cfg.faults.duplicate_prob = 0.02;
+    SimResult r = run_multi(cfg, 16);
+    SimResult one = run_multi(mc_config("pipelining"), 1);
+    EXPECT_EQ(r.refs, 16 * one.refs);
+    EXPECT_GT(r.net_stats.dropped, 0u);
+    EXPECT_GT(r.retries, 0u);
+}
+
+// ---------------------------------------------------------------
+// Exec engine: --clients axis, any --jobs / --workers
+// ---------------------------------------------------------------
+
+std::vector<std::string>
+blobs_of(const std::vector<SimResult> &rs)
+{
+    std::vector<std::string> out;
+    for (const auto &r : rs)
+        out.push_back(result_blob(r));
+    return out;
+}
+
+SweepSpec
+clients_spec()
+{
+    SweepSpec spec;
+    spec.apps = {"gdb"};
+    spec.policies = {"eager"};
+    spec.subpage_sizes = {1024};
+    spec.mems = {MemConfig::Half};
+    spec.clients = {1, 4};
+    spec.scale = 0.3;
+    return spec;
+}
+
+TEST(MultiClientEngine, ExpandSweepAddsClientsAxisInnermost)
+{
+    SweepSpec spec = clients_spec();
+    std::vector<Experiment> points = exec::expand_sweep(spec);
+    ASSERT_EQ(points.size(), spec.point_count());
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_EQ(points[0].clients, 1u);
+    EXPECT_EQ(points[1].clients, 4u);
+}
+
+TEST(MultiClientEngine, JobsAndWorkersAreByteIdenticalToSerial)
+{
+    SweepSpec spec = clients_spec();
+
+    exec::ExecOptions serial_eo;
+    serial_eo.jobs = 1;
+    serial_eo.cache_enabled = false;
+    exec::Engine serial(serial_eo);
+    std::vector<SimResult> s = serial.run_sweep(spec);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_GT(s[1].refs, s[0].refs); // the clients axis did run
+
+    exec::ExecOptions par_eo;
+    par_eo.jobs = 4;
+    par_eo.cache_enabled = false;
+    exec::Engine par(par_eo);
+    EXPECT_EQ(blobs_of(par.run_sweep(spec)), blobs_of(s));
+
+    exec::ExecOptions w_eo;
+    w_eo.workers = 2;
+    w_eo.cache_enabled = false;
+    exec::Engine workers(w_eo);
+    EXPECT_EQ(blobs_of(workers.run_sweep(spec)), blobs_of(s));
+}
+
+TEST(MultiClientEngine, FingerprintSeparatesClientCounts)
+{
+    Experiment a;
+    a.app = "gdb";
+    a.scale = 0.3;
+    Experiment b = a;
+    b.clients = 4;
+    EXPECT_NE(exec::experiment_fingerprint(a),
+              exec::experiment_fingerprint(b));
+    Experiment c = b;
+    c.base.metrics_per_client = true;
+    EXPECT_NE(exec::experiment_fingerprint(b),
+              exec::experiment_fingerprint(c));
+}
+
+// ---------------------------------------------------------------
+// Zero steady-state allocations at N=256
+// ---------------------------------------------------------------
+
+TEST(MultiClientAlloc, SteadyStateIsAllocationFreeAt256Clients)
+{
+    // Per-client trace: a warm prefix touching 64 distinct pages
+    // (all faults, event traffic, page-table growth), then a long
+    // steady tail cycling over the now-resident set. Full memory, so
+    // the tail is pure fast-path hits interleaved by the scheduler.
+    constexpr uint32_t N = 256;
+    constexpr uint64_t PAGES = 64;
+    constexpr uint64_t CYCLES = 40; // > 2 batch refills per client
+    std::vector<VectorTrace> traces(N);
+    for (uint32_t c = 0; c < N; ++c) {
+        for (uint64_t p = 0; p < PAGES; ++p)
+            traces[c].push(p * 8192, false);
+        for (uint64_t k = 0; k < CYCLES; ++k)
+            for (uint64_t p = 0; p < PAGES; ++p)
+                traces[c].push(p * 8192 + (k % 8) * 512, false);
+    }
+    std::vector<TraceSource *> ptrs;
+    for (auto &t : traces)
+        ptrs.push_back(&t);
+
+    SimConfig cfg;
+    cfg.policy = "eager";
+    cfg.subpage_size = 1024;
+    cfg.mem_pages = 0; // full-mem: faults only in the warm prefix
+    cfg.record_faults = false;
+    cfg.clients = N;
+    cfg.footprint_pages_hint = PAGES;
+
+    MultiClientSimulator sim(cfg);
+    sim.begin(ptrs);
+    // Warm: drive until every client is past its faulting prefix and
+    // the event queue has fully drained.
+    // One dispatch at a time: a coarser chunk could cross from the
+    // warm phase straight to completion (a finished fault leaves a
+    // client's whole remaining tail runnable in one dispatch).
+    const uint64_t warm_refs = N * (PAGES + PAGES * 4);
+    while (sim.refs_executed() < warm_refs ||
+           sim.events_pending() > 0) {
+        ASSERT_TRUE(sim.drive(1));
+    }
+    uint64_t fallbacks_before = inline_function_heap_fallbacks();
+    uint64_t before = alloc_probe_count();
+    while (sim.drive(8192)) {
+    }
+    EXPECT_EQ(alloc_probe_count(), before);
+    EXPECT_EQ(inline_function_heap_fallbacks(), fallbacks_before);
+
+    SimResult r = sim.finish();
+    EXPECT_EQ(r.refs, N * (PAGES + CYCLES * PAGES));
+    EXPECT_EQ(r.page_faults, N * PAGES);
+}
+
+} // namespace
+} // namespace sgms
